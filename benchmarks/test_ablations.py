@@ -1,0 +1,265 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+These are not paper figures; they justify the modelling decisions behind
+them:
+
+- binomial vs flat collectives (why App-MPI scales logarithmically);
+- VeloC flush chunk size (why background flushes must be preemptable);
+- PFS I/O-server count (the Lustre bottleneck knob);
+- spare-pool size under repeated failures;
+- checkpoint-interval sweep (the recompute / checkpoint-cost trade-off).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once, save_table
+from repro.apps import HeatdisConfig
+from repro.experiments import paper_env
+from repro.harness import run_heatdis_job
+from repro.mpi import World
+from repro.sim import (
+    Cluster,
+    ClusterSpec,
+    IterationFailure,
+    NetworkSpec,
+    NodeSpec,
+    PFSSpec,
+)
+from repro.util.units import GiB, MiB
+
+
+def _cfg(**kw):
+    base = dict(
+        local_rows=8, cols=16, modeled_bytes_per_rank=512e6, n_iters=60,
+        work_multiplier=1000.0,
+    )
+    base.update(kw)
+    return HeatdisConfig(**base)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_collectives(benchmark, results_dir):
+    """Binomial-tree bcast beats flat bcast, increasingly with P."""
+
+    def measure(n_ranks, algorithm):
+        cluster = Cluster(
+            ClusterSpec(
+                n_nodes=n_ranks,
+                node=NodeSpec(nic_bandwidth=1 * GiB, nic_latency=2e-6),
+                network=NetworkSpec(fabric_latency=1e-6),
+            )
+        )
+        world = World(cluster, n_ranks)
+        times = {}
+
+        def body(rank):
+            h = world.comm_world_handle(rank)
+            payload = b"x" if rank == 0 else None
+            t0 = cluster.engine.now
+            yield from h.bcast(payload, root=0, nbytes=8 * MiB,
+                               algorithm=algorithm)
+            times[rank] = cluster.engine.now - t0
+
+        for r in range(n_ranks):
+            world.spawn(r, body(r))
+        cluster.engine.run()
+        return max(times.values())
+
+    def experiment():
+        rows = []
+        for n in (4, 16, 64):
+            rows.append((n, measure(n, "binomial"), measure(n, "flat")))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    lines = ["Ablation: bcast algorithm (8 MiB payload)",
+             "ranks  binomial(s)  flat(s)  speedup"]
+    for n, tree, flat in rows:
+        lines.append(f"{n:>5}  {tree:11.4f}  {flat:7.4f}  {flat / tree:7.2f}x")
+    save_table(results_dir, "ablation_collectives.txt", "\n".join(lines))
+    # the flat root serializes P-1 sends; the tree pipelines in log P
+    for n, tree, flat in rows:
+        if n >= 16:
+            assert flat > tree
+    assert rows[-1][2] / rows[-1][1] > rows[0][2] / rows[0][1]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_pfs_servers(benchmark, results_dir):
+    """More PFS I/O servers -> less checkpoint congestion."""
+
+    def experiment():
+        rows = []
+        for n_servers in (1, 2, 4, 8):
+            env = paper_env(n_nodes=9, pfs_servers=n_servers)
+            rep = run_heatdis_job(env, "fenix_kr_veloc", 8, _cfg(), 9)
+            base = run_heatdis_job(
+                paper_env(n_nodes=9, pfs_servers=n_servers), "none", 8,
+                _cfg(), 9,
+            )
+            rows.append((n_servers, rep.wall_time - base.wall_time,
+                         rep.category("app_mpi") - base.category("app_mpi")))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    lines = ["Ablation: PFS I/O servers vs checkpoint overhead (512MB/rank)",
+             "servers  overhead(s)  extra app_mpi(s)"]
+    for n, ov, mpi in rows:
+        lines.append(f"{n:>7}  {ov:11.3f}  {mpi:16.3f}")
+    save_table(results_dir, "ablation_pfs.txt", "\n".join(lines))
+    assert rows[0][1] > rows[-1][1]  # 1 server worst, 8 best
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_flush_chunk(benchmark, results_dir):
+    """Coarser PFS flush chunks head-of-line-block application messages."""
+
+    def measure(chunk_bytes):
+        env0 = paper_env(n_nodes=9, pfs_servers=1)
+        spec = ClusterSpec(
+            n_nodes=env0.cluster_spec.n_nodes,
+            node=env0.cluster_spec.node,
+            network=env0.cluster_spec.network,
+            pfs=PFSSpec(
+                n_servers=1,
+                server_bandwidth=env0.cluster_spec.pfs.server_bandwidth,
+                server_latency=env0.cluster_spec.pfs.server_latency,
+                chunk_bytes=chunk_bytes,
+            ),
+            seed=env0.cluster_spec.seed,
+        )
+        env = type(env0)(cluster_spec=spec, costs=env0.costs,
+                         n_spares=env0.n_spares)
+        rep = run_heatdis_job(env, "fenix_kr_veloc", 8, _cfg(), 9)
+        return rep.category("app_mpi")
+
+    def experiment():
+        return [(c, measure(c)) for c in (1 * MiB, 8 * MiB, 64 * MiB, 512 * MiB)]
+
+    rows = run_once(benchmark, experiment)
+    lines = ["Ablation: PFS flush chunk size vs App-MPI congestion",
+             "chunk(MiB)  app_mpi(s)"]
+    for c, mpi in rows:
+        lines.append(f"{c / MiB:>10.0f}  {mpi:9.3f}")
+    save_table(results_dir, "ablation_flush_chunk.txt", "\n".join(lines))
+    # giant chunks block halo messages behind whole checkpoints
+    assert rows[-1][1] > rows[0][1]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_burst_buffer(benchmark, results_dir):
+    """Adding a burst-buffer tier reduces checkpoint congestion and
+    speeds recovery for replacement ranks."""
+    from dataclasses import replace as dc_replace
+
+    from repro.sim import IterationFailure
+
+    def run_cfg(use_bb):
+        env0 = paper_env(n_nodes=9, pfs_servers=1)
+        spec = ClusterSpec(
+            n_nodes=env0.cluster_spec.n_nodes,
+            node=env0.cluster_spec.node,
+            network=env0.cluster_spec.network,
+            pfs=env0.cluster_spec.pfs,
+            burst_buffer=PFSSpec(
+                n_servers=4, server_bandwidth=4 * GiB,
+                server_latency=1e-5, chunk_bytes=8 * MiB,
+            ),
+            seed=env0.cluster_spec.seed,
+        )
+        env = type(env0)(
+            cluster_spec=spec, costs=env0.costs, n_spares=env0.n_spares,
+            use_burst_buffer=use_bb,
+        )
+        plan = IterationFailure([(1, 44)])
+        clean = run_heatdis_job(env, "fenix_kr_veloc", 8, _cfg(), 9)
+        env2 = type(env0)(
+            cluster_spec=spec, costs=env0.costs, n_spares=env0.n_spares,
+            use_burst_buffer=use_bb,
+        )
+        failed = run_heatdis_job(env2, "fenix_kr_veloc", 8, _cfg(), 9,
+                                 plan=plan)
+        return clean, failed
+
+    def experiment():
+        return {use_bb: run_cfg(use_bb) for use_bb in (False, True)}
+
+    out = run_once(benchmark, experiment)
+    lines = ["Ablation: burst-buffer tier (512MB/rank, 1 PFS server)",
+             "config      clean_app_mpi(s)  recovery(s)  fail_cost(s)"]
+    for use_bb, (clean, failed) in out.items():
+        name = "bb" if use_bb else "pfs-only"
+        lines.append(
+            f"{name:>10}  {clean.category('app_mpi'):16.3f}"
+            f"  {failed.category('data_recovery'):11.3f}"
+            f"  {failed.wall_time - clean.wall_time:12.3f}"
+        )
+    save_table(results_dir, "ablation_burst_buffer.txt", "\n".join(lines))
+    clean_pfs, failed_pfs = out[False]
+    clean_bb, failed_bb = out[True]
+    # the BB absorbs flushes: less App-MPI congestion
+    assert clean_bb.category("app_mpi") <= clean_pfs.category("app_mpi")
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_spares(benchmark, results_dir):
+    """Repeated failures consume spares; runs survive exactly n_spares
+    failures before shrinking."""
+
+    def run_with_failures(n_failures, n_spares):
+        kills = [(r, 9 * (2 + r) + 8) for r in range(n_failures)]
+        env = paper_env(n_nodes=8 + n_spares, n_spares=n_spares,
+                        pfs_servers=1)
+        rep = run_heatdis_job(
+            env, "fenix_kr_veloc", 8, _cfg(), 9,
+            plan=IterationFailure(kills),
+        )
+        return rep
+
+    def experiment():
+        rows = []
+        for n_failures in (0, 1, 2, 3):
+            rep = run_with_failures(n_failures, n_spares=3)
+            rows.append((n_failures, rep.wall_time, rep.attempts))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    lines = ["Ablation: repeated failures with a 3-spare pool (8 ranks)",
+             "failures  wall(s)  attempts"]
+    for n, wall, attempts in rows:
+        lines.append(f"{n:>8}  {wall:7.2f}  {attempts:8d}")
+    save_table(results_dir, "ablation_spares.txt", "\n".join(lines))
+    walls = [w for _n, w, _a in rows]
+    assert all(a == 1 for _n, _w, a in rows)  # never relaunched
+    assert walls == sorted(walls)  # each failure adds cost
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_checkpoint_interval(benchmark, results_dir):
+    """Young-style trade-off: frequent checkpoints cost overhead, rare
+    checkpoints cost recompute after a failure."""
+
+    def measure(interval):
+        cfg = _cfg(n_iters=60)
+        # iteration 50: the latest restorable checkpoint is 48 / 45 / 27
+        # for intervals 3 / 9 / 27
+        plan = IterationFailure([(1, 50)])
+        env = paper_env(n_nodes=9, pfs_servers=1)
+        rep = run_heatdis_job(env, "fenix_kr_veloc", 8, cfg, interval,
+                              plan=plan)
+        return rep
+
+    def experiment():
+        return [(i, measure(i)) for i in (3, 9, 27)]
+
+    rows = run_once(benchmark, experiment)
+    lines = ["Ablation: checkpoint interval with a failure at iteration 50",
+             "interval  wall(s)  recompute(s)  ckpt_fn+appmpi(s)"]
+    for i, rep in rows:
+        lines.append(
+            f"{i:>8}  {rep.wall_time:7.2f}  {rep.category('recompute'):12.2f}"
+            f"  {rep.category('checkpoint_function') + rep.category('app_mpi'):17.2f}"
+        )
+    save_table(results_dir, "ablation_interval.txt", "\n".join(lines))
+    recomputes = {i: rep.category("recompute") for i, rep in rows}
+    assert recomputes[27] > recomputes[3]  # rare ckpts -> more recompute

@@ -1,0 +1,26 @@
+"""Extension study: strategies under a campaign of random failures.
+
+Not a paper figure -- it connects the paper's Blue-Waters motivation
+(memoryless node failures in production) to its evaluation by measuring
+whole-campaign efficiency instead of a single controlled failure.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once, save_table
+from repro.experiments import format_campaign, run_campaign
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_failure_campaign(benchmark, results_dir):
+    study = run_once(benchmark, lambda: run_campaign(n_ranks=8))
+    save_table(results_dir, "campaign.txt", format_campaign(study))
+    relaunch = study.result("kr_veloc")
+    fenix = study.result("fenix_kr_veloc")
+    # the same failures hit both configurations
+    assert relaunch.failures >= 1
+    assert fenix.failures >= 1
+    # online recovery wins the campaign, without any relaunch
+    assert fenix.report.attempts == 1
+    assert relaunch.report.attempts == relaunch.failures + 1
+    assert study.efficiency("fenix_kr_veloc") > study.efficiency("kr_veloc")

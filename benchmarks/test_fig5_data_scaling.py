@@ -1,0 +1,78 @@
+"""Figure 5 (left panel): Heatdis 64-node data scaling, 16 MB .. 1 GB.
+
+Regenerates the stacked categories (no-failure run) and the failure cost
+for every strategy column, and checks the headline shape claims inline.
+"""
+
+import pytest
+
+from benchmarks.conftest import FIG5_PFS, FIG5_RANKS, run_once, save_table
+from repro.experiments.fig5_heatdis import (
+    FIG5_STRATEGIES,
+    format_fig5,
+    run_fig5_cell,
+)
+
+SIZES = ["16MB", "64MB", "256MB", "1GB"]
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_data_scaling(benchmark, results_dir):
+    def experiment():
+        cells = []
+        for size in SIZES:
+            for strategy in FIG5_STRATEGIES:
+                cells.append(
+                    run_fig5_cell(
+                        strategy, size, FIG5_RANKS,
+                        with_failure=(strategy != "none"),
+                        pfs_servers=FIG5_PFS,
+                    )
+                )
+        return cells
+
+    cells = run_once(benchmark, experiment)
+    table = format_fig5(
+        cells,
+        title=(
+            f"Figure 5 (left): Heatdis data scaling, {FIG5_RANKS} ranks, "
+            f"{FIG5_PFS} PFS server(s)"
+        ),
+    )
+    save_table(results_dir, "fig5_data_scaling.txt", table)
+
+    def cell(strategy, size):
+        for c in cells:
+            if c.strategy == strategy and c.data_bytes == _bytes(size):
+                return c
+        raise KeyError((strategy, size))
+
+    def _bytes(size):
+        from repro.util.units import parse_size
+
+        return parse_size(size)
+
+    # shape claims on the full sweep
+    for size in SIZES:
+        none_wall = cell("none", size).clean.wall_time
+        # KR-managed VeloC ~ manual VeloC; Fenix adds ~nothing
+        assert cell("kr_veloc", size).clean.wall_time == pytest.approx(
+            cell("veloc", size).clean.wall_time, rel=0.03
+        )
+        assert cell("fenix_kr_veloc", size).clean.wall_time == pytest.approx(
+            cell("kr_veloc", size).clean.wall_time, rel=0.03
+        )
+        # Fenix beats relaunch on failure cost
+        assert (
+            cell("fenix_kr_veloc", size).failure_cost
+            < cell("kr_veloc", size).failure_cost
+        )
+    # IMR wins at the smallest size, checkpoint-fn scales with size
+    small, large = SIZES[0], SIZES[-1]
+    assert (
+        cell("fenix_kr_imr", small).clean.wall_time
+        <= cell("fenix_kr_veloc", small).clean.wall_time + 1e-9
+    )
+    assert cell("fenix_kr_imr", large).clean.category(
+        "checkpoint_function"
+    ) > 10 * cell("fenix_kr_imr", small).clean.category("checkpoint_function")

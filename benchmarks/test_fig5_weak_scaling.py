@@ -1,0 +1,66 @@
+"""Figure 5 (right panel): Heatdis 1 GB/node weak scaling.
+
+Node counts grow against a fixed PFS partition, so disk-based
+checkpointing congestion grows with scale while IMR's pairwise traffic
+scales with the ranks ("each rank adds both a producer and a consumer").
+"""
+
+import pytest
+
+from benchmarks.conftest import FIG5_PFS, FIG5_WEAK_NODES, run_once, save_table
+from repro.experiments.fig5_heatdis import (
+    FIG5_STRATEGIES,
+    format_fig5,
+    run_fig5_cell,
+)
+
+DATA = "1GB"
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_weak_scaling(benchmark, results_dir):
+    def experiment():
+        cells = []
+        for n in FIG5_WEAK_NODES:
+            for strategy in FIG5_STRATEGIES:
+                cells.append(
+                    run_fig5_cell(
+                        strategy, DATA, n,
+                        with_failure=(strategy != "none"),
+                        pfs_servers=FIG5_PFS,
+                    )
+                )
+        return cells
+
+    cells = run_once(benchmark, experiment)
+    table = format_fig5(
+        cells,
+        title=(
+            f"Figure 5 (right): Heatdis weak scaling at {DATA}/node, "
+            f"{FIG5_PFS} PFS server(s)"
+        ),
+    )
+    save_table(results_dir, "fig5_weak_scaling.txt", table)
+
+    def cell(strategy, n):
+        for c in cells:
+            if c.strategy == strategy and c.n_ranks == n:
+                return c
+        raise KeyError((strategy, n))
+
+    # IMR scales better with rank count than disk-based VeloC: the
+    # VeloC-over-none overhead grows with nodes; IMR's stays flat.
+    lo, hi = FIG5_WEAK_NODES[0], FIG5_WEAK_NODES[-1]
+
+    def overhead(strategy, n):
+        return cell(strategy, n).clean.wall_time - cell("none", n).clean.wall_time
+
+    veloc_growth = overhead("fenix_kr_veloc", hi) - overhead("fenix_kr_veloc", lo)
+    imr_growth = overhead("fenix_kr_imr", hi) - overhead("fenix_kr_imr", lo)
+    assert imr_growth < veloc_growth
+    # Fenix failure-cost advantage holds at every scale
+    for n in FIG5_WEAK_NODES:
+        assert (
+            cell("fenix_kr_veloc", n).failure_cost
+            < cell("kr_veloc", n).failure_cost
+        )

@@ -1,0 +1,54 @@
+"""Figure 6: MiniMD resilience weak scaling with phase breakdown."""
+
+import pytest
+
+from benchmarks.conftest import FIG6_PFS, FIG6_RANKS, run_once, save_table
+from repro.experiments.fig6_minimd import (
+    FIG6_STRATEGIES,
+    format_fig6,
+    run_fig6_cell,
+)
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_minimd_weak_scaling(benchmark, results_dir):
+    def experiment():
+        cells = {}
+        for n in FIG6_RANKS:
+            for strategy in FIG6_STRATEGIES:
+                cells[(strategy, n)] = run_fig6_cell(
+                    strategy, n,
+                    with_failure=(strategy != "none"),
+                    pfs_servers=FIG6_PFS,
+                )
+        return cells
+
+    cells = run_once(benchmark, experiment)
+    table = format_fig6(
+        list(cells.values()),
+        title=f"Figure 6: MiniMD weak scaling, {FIG6_PFS} PFS server(s)",
+    )
+    save_table(results_dir, "fig6_minimd.txt", table)
+
+    for n in FIG6_RANKS:
+        base = cells[("none", n)].clean
+        full = cells[("fenix_kr_veloc", n)].clean
+        # three phases present with the paper's ordering
+        assert full.category("force_compute") > full.category("communicator")
+        assert full.category("force_compute") > full.category("neighboring")
+        # resilience adds little to the clean run
+        assert full.wall_time < base.wall_time * 1.05
+        # Fenix failure cost < relaunch failure cost (big init saved)
+        assert (
+            cells[("fenix_kr_veloc", n)].failure_cost
+            < cells[("kr_veloc", n)].failure_cost
+        )
+        # ... and the savings sit in "Other"
+        fenix_extra_other = (
+            cells[("fenix_kr_veloc", n)].failed.other - full.other
+        )
+        relaunch_extra_other = (
+            cells[("kr_veloc", n)].failed.other
+            - cells[("kr_veloc", n)].clean.other
+        )
+        assert fenix_extra_other < relaunch_extra_other

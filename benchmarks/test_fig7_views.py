@@ -1,0 +1,22 @@
+"""Figure 7: MiniMD view census (Checkpointed / Alias / Skipped)."""
+
+import pytest
+
+from benchmarks.conftest import run_once, save_table
+from repro.experiments.fig7_views import SIM_SIZES, format_fig7, run_fig7_census
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_view_census(benchmark, results_dir):
+    rows = run_once(benchmark, lambda: run_fig7_census(SIM_SIZES))
+    table = format_fig7(rows, title="Figure 7: MiniMD view census")
+    save_table(results_dir, "fig7_views.txt", table)
+
+    for row in rows:
+        # the paper's Section VI-E counts, at every simulation size
+        assert row.counts == {"checkpointed": 39, "alias": 3, "skipped": 19}
+        assert sum(row.fractions.values()) == pytest.approx(1.0)
+        # "a single view contains the majority of the data"
+        assert row.dominant_view_fraction > 0.5
+        # "the large memory size of the 19 skipped views"
+        assert row.fractions["skipped"] > row.fractions["alias"]

@@ -1,0 +1,31 @@
+"""Section VI-D2: partial-rollback recovery speedup on convergence Heatdis."""
+
+import pytest
+
+from benchmarks.conftest import run_once, save_table
+from repro.experiments import run_partial_rollback_comparison
+
+
+@pytest.mark.benchmark(group="partial-rollback")
+def test_partial_rollback_speedup(benchmark, results_dir):
+    result = run_once(
+        benchmark, lambda: run_partial_rollback_comparison(n_ranks=8)
+    )
+    text = "\n".join(
+        [
+            "Section VI-D2: partial vs full rollback (convergence Heatdis)",
+            f"  clean wall:            {result.clean_wall:8.2f} s "
+            f"({result.clean_iterations} iterations)",
+            f"  full-rollback wall:    {result.full_rollback_wall:8.2f} s "
+            f"({result.full_iterations} iterations)",
+            f"  partial-rollback wall: {result.partial_rollback_wall:8.2f} s "
+            f"({result.partial_iterations} iterations)",
+            f"  full recovery cost:    {result.full_recovery_cost:8.2f} s",
+            f"  partial recovery cost: {result.partial_recovery_cost:8.2f} s",
+            f"  recovery speedup:      {result.speedup:8.2f}x "
+            "(paper: 'nearly 2x')",
+        ]
+    )
+    save_table(results_dir, "partial_rollback.txt", text)
+    assert result.partial_recovery_cost < result.full_recovery_cost
+    assert result.speedup > 1.3

@@ -1,0 +1,94 @@
+"""Simulator performance: event throughput and protocol-path costs.
+
+Unlike the figure benchmarks (which run once and emit tables), these
+measure the *reproduction's own* hot paths with real repetition, so
+regressions in the simulator show up in benchmark history.
+"""
+
+import pytest
+
+from repro.mpi import SUM, World
+from repro.sim import Cluster, ClusterSpec, Engine, NetworkSpec, NodeSpec
+
+
+def small_cluster(n_nodes):
+    return Cluster(
+        ClusterSpec(
+            n_nodes=n_nodes,
+            node=NodeSpec(nic_bandwidth=1e9, nic_latency=1e-6,
+                          memory_bandwidth=1e10),
+            network=NetworkSpec(fabric_latency=0.0),
+        )
+    )
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_engine_event_throughput(benchmark):
+    """Raw engine speed: schedule and dispatch 50k timeout events."""
+
+    def run():
+        eng = Engine()
+
+        def ticker():
+            for _ in range(50_000):
+                yield eng.timeout(0.001)
+
+        eng.process(ticker())
+        eng.run()
+        return eng.now
+
+    result = benchmark(run)
+    assert result == pytest.approx(50.0)
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_p2p_message_rate(benchmark):
+    """Ping-pong throughput through the full matching + network stack."""
+
+    def run():
+        cluster = small_cluster(2)
+        world = World(cluster, 2)
+        n = 2_000
+
+        def rank0():
+            h = world.comm_world_handle(0)
+            for i in range(n):
+                yield from h.send(i, dest=1)
+                yield from h.recv(source=1)
+
+        def rank1():
+            h = world.comm_world_handle(1)
+            for _ in range(n):
+                got = yield from h.recv(source=0)
+                yield from h.send(got, dest=0)
+
+        world.spawn(0, rank0())
+        world.spawn(1, rank1())
+        cluster.engine.run()
+        return cluster.network.messages_sent
+
+    assert benchmark(run) == 4_000
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_allreduce_rate(benchmark):
+    """Collective throughput at 16 ranks (binomial trees over p2p)."""
+
+    def run():
+        cluster = small_cluster(16)
+        world = World(cluster, 16)
+        n = 100
+
+        def body(rank):
+            h = world.comm_world_handle(rank)
+            total = 0.0
+            for _ in range(n):
+                total = yield from h.allreduce(1.0, op=SUM)
+            return total
+
+        for r in range(16):
+            world.spawn(r, body(r))
+        cluster.engine.run()
+        return True
+
+    assert benchmark(run)

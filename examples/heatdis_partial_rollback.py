@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Partial rollback: survivors keep their post-checkpoint progress.
+
+The run-until-convergence Heatdis variant tolerates a partially
+inconsistent restart (one rank on older data), so survivors can skip data
+restoration entirely after a failure.  The paper reports "a nearly 2x
+speedup of recovery" from this; this example reproduces the comparison.
+
+Run:  python examples/heatdis_partial_rollback.py
+"""
+
+from repro.experiments import run_partial_rollback_comparison
+
+
+def main() -> None:
+    print("running clean / full-rollback / partial-rollback jobs ...")
+    result = run_partial_rollback_comparison(n_ranks=8)
+    print(f"clean run:            {result.clean_wall:8.2f} s "
+          f"({result.clean_iterations} iterations to converge)")
+    print(f"full rollback:        {result.full_rollback_wall:8.2f} s "
+          f"({result.full_iterations} iterations)")
+    print(f"partial rollback:     {result.partial_rollback_wall:8.2f} s "
+          f"({result.partial_iterations} iterations)")
+    print(f"recovery cost (full):    {result.full_recovery_cost:6.2f} s")
+    print(f"recovery cost (partial): {result.partial_recovery_cost:6.2f} s")
+    print(f"speedup: {result.speedup:.2f}x  (paper: 'nearly 2x')")
+    print("\nNote the partial run may even need FEWER iterations: the")
+    print("survivors' kept data is further along than the rolled-back")
+    print("iteration counter suggests.")
+
+
+if __name__ == "__main__":
+    main()

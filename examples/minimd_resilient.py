@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""MiniMD under the integrated stack: phases, view census, recovery.
+
+Shows the three execution phases the paper measures (Force Compute /
+Neighboring / Communicator), the automatic view census that Figure 7
+reports (61 view objects -> 39 checkpointed / 3 aliases / 19 skipped),
+and bit-exact recovery from a mid-run rank failure.
+
+Run:  python examples/minimd_resilient.py
+"""
+
+import numpy as np
+
+from repro.apps import MiniMDConfig
+from repro.experiments.fig6_minimd import run_fig6_cell
+from repro.experiments.fig7_views import format_fig7, run_fig7_census
+from repro.harness.report import MINIMD_CATEGORIES, format_report_table
+
+
+def main() -> None:
+    print("== view census (Figure 7) ==")
+    print(format_fig7(run_fig7_census([100, 400])))
+
+    print("\n== resilient run with a failure at step 44 ==")
+    cell = run_fig6_cell("fenix_kr_veloc", n_ranks=4, pfs_servers=1)
+    print(format_report_table(
+        [cell.clean, cell.failed], MINIMD_CATEGORIES,
+        title="clean vs failed (same strategy)",
+    ))
+    print(f"failure cost: {cell.failure_cost:.2f} s")
+
+    for rank in cell.clean.results:
+        assert np.array_equal(
+            cell.clean.results[rank]["x"], cell.failed.results[rank]["x"]
+        ), f"rank {rank} positions diverged"
+    print("post-recovery particle positions are bit-identical ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Compare every resilience strategy on the same workload (Figure 5 style).
+
+Runs Heatdis at one data size under all six strategy columns of the
+paper's Figure 5, with and without a failure, and prints the category
+breakdown plus the failure cost -- the textual equivalent of one group of
+the figure's stacked bars.
+
+Run:  python examples/strategy_comparison.py [data_size] [n_ranks]
+  e.g. python examples/strategy_comparison.py 256MB 8
+"""
+
+import sys
+
+from repro.experiments.fig5_heatdis import (
+    FIG5_STRATEGIES,
+    format_fig5,
+    run_fig5_cell,
+)
+
+
+def main() -> None:
+    data_size = sys.argv[1] if len(sys.argv) > 1 else "256MB"
+    n_ranks = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    cells = []
+    for strategy in FIG5_STRATEGIES:
+        print(f"running {strategy} ...", flush=True)
+        cells.append(
+            run_fig5_cell(
+                strategy, data_size, n_ranks,
+                with_failure=(strategy != "none"),
+                pfs_servers=1,
+            )
+        )
+    print()
+    print(format_fig5(cells, title=f"Heatdis @ {data_size} x {n_ranks} ranks"))
+    print("\nReading guide (the paper's Section VI-D):")
+    print(" - kr_veloc ~ veloc: Kokkos Resilience manages VeloC for free;")
+    print(" - fenix_* rows: same clean cost, far cheaper failures (no relaunch);")
+    print(" - fenix_kr_imr: checkpoint_function grows with data, but no")
+    print("   PFS congestion in app_mpi.")
+
+
+if __name__ == "__main__":
+    main()

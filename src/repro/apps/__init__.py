@@ -1,0 +1,51 @@
+"""Benchmark applications: Heatdis and MiniMD.
+
+Both applications follow the guide's split between correctness and cost:
+the numerics run for real on laptop-scale numpy arrays (vectorized, in
+place), while *modelled* sizes -- bytes per node, atoms per rank -- drive
+every simulated cost (compute time, message bytes, checkpoint bytes), so a
+"1 GB/node on 64 nodes" experiment finishes in seconds yet exercises every
+code path the paper's testbed did.
+"""
+
+from repro.apps.heatdis import (
+    HeatdisConfig,
+    HeatdisState,
+    heatdis_reference,
+    make_heatdis_main,
+)
+from repro.apps.heatdis2d import (
+    Heatdis2DConfig,
+    Heatdis2DState,
+    heatdis2d_reference,
+    make_heatdis2d_main,
+)
+from repro.apps.heatdis_elastic import (
+    gather_elastic,
+    make_elastic_heatdis_main,
+    partition_rows,
+)
+from repro.apps.heatdis_manual import make_manual_heatdis_main
+from repro.apps.minimd import (
+    MiniMDConfig,
+    MiniMDState,
+    make_minimd_main,
+)
+
+__all__ = [
+    "HeatdisConfig",
+    "HeatdisState",
+    "heatdis_reference",
+    "make_heatdis_main",
+    "Heatdis2DConfig",
+    "Heatdis2DState",
+    "heatdis2d_reference",
+    "make_heatdis2d_main",
+    "make_manual_heatdis_main",
+    "make_elastic_heatdis_main",
+    "gather_elastic",
+    "partition_rows",
+    "MiniMDConfig",
+    "MiniMDState",
+    "make_minimd_main",
+]

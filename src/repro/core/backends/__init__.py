@@ -1,0 +1,14 @@
+"""Pluggable checkpoint/restart backends for the control-flow layer."""
+
+from repro.core.backends.base import Backend, region_id_for
+from repro.core.backends.veloc import VeloCBackend
+from repro.core.backends.stdfile import StdFileBackend
+from repro.core.backends.fenix_imr import FenixIMRBackend
+
+__all__ = [
+    "Backend",
+    "region_id_for",
+    "VeloCBackend",
+    "StdFileBackend",
+    "FenixIMRBackend",
+]

@@ -1,0 +1,71 @@
+"""Backend protocol for the control-flow resilience layer.
+
+A backend persists and restores a set of views for integer versions.  All
+potentially blocking operations are generators.  Region/member ids are
+derived from view labels with a stable hash so that every rank -- and a
+replacement rank rebuilding its state after recovery -- computes identical
+ids without any coordination.
+"""
+
+from __future__ import annotations
+
+import abc
+import zlib
+from typing import Any, Generator, List, Set
+
+from repro.kokkos.view import View
+from repro.mpi.handle import CommHandle
+from repro.sim.engine import Event
+
+
+def region_id_for(label: str) -> int:
+    """Stable 31-bit region/member id for a view label."""
+    return zlib.crc32(label.encode("utf-8")) & 0x7FFFFFFF
+
+
+class Backend(abc.ABC):
+    """Persists versions of registered views."""
+
+    #: human-readable backend name (used in reports)
+    name: str = "backend"
+
+    @abc.abstractmethod
+    def register_views(self, views: List[View]) -> None:
+        """Make ``views`` the protected set (idempotent per label)."""
+
+    @abc.abstractmethod
+    def checkpoint(self, version: int) -> Generator[Event, Any, None]:
+        """Persist the protected set as ``version``."""
+
+    @abc.abstractmethod
+    def restore(self, version: int, views: List[View]) -> Generator[Event, Any, None]:
+        """Load ``version`` into ``views``."""
+
+    @abc.abstractmethod
+    def local_versions(self) -> Set[int]:
+        """Versions restorable by this rank without communication."""
+
+    @abc.abstractmethod
+    def latest_version(self) -> Generator[Event, Any, int]:
+        """The newest version restorable by *every* rank (or -1).
+
+        May communicate (the paper's "manually performing a reduction
+        operation to obtain a globally-best checkpoint").
+        """
+
+    @abc.abstractmethod
+    def reset(self, comm: CommHandle) -> None:
+        """Adopt a repaired communicator and refresh cached identity."""
+
+    # -- shared helper -------------------------------------------------------
+
+    @staticmethod
+    def _intersect_versions(
+        comm: CommHandle, local: Set[int]
+    ) -> Generator[Event, Any, int]:
+        """Allgather-and-intersect version sets; returns max common or -1."""
+        all_sets = yield from comm.allgather(sorted(local))
+        common = set(all_sets[0])
+        for s in all_sets[1:]:
+            common &= set(s)
+        return max(common) if common else -1

@@ -1,0 +1,61 @@
+"""VeloC backend for the control-flow layer.
+
+Two initialization modes, mirroring the paper's Section V:
+
+- **collective** (stock Kokkos Resilience behaviour): VeloC's own
+  communicator-wide query finds the globally best version.  Incompatible
+  with Fenix repair, because VeloC caches the communicator it was
+  initialized with.
+- **single** (the paper's added configuration): VeloC runs non-collectively
+  and *this backend* performs the reduction over the current -- possibly
+  repaired -- communicator, then hands the agreed version to VeloC.
+
+:meth:`reset` implements the other paper modification: accepting a new
+communicator and pushing the refreshed rank identity down into VeloC.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Set
+
+from repro.core.backends.base import Backend, region_id_for
+from repro.kokkos.view import View
+from repro.mpi.handle import CommHandle
+from repro.sim.engine import Event
+from repro.veloc.client import VeloCClient
+
+
+class VeloCBackend(Backend):
+    name = "veloc"
+
+    def __init__(self, client: VeloCClient, comm: CommHandle) -> None:
+        self.client = client
+        self.comm = comm
+
+    def register_views(self, views: List[View]) -> None:
+        for view in views:
+            self.client.mem_protect(region_id_for(view.label), view)
+
+    def checkpoint(self, version: int) -> Generator[Event, Any, None]:
+        yield from self.client.checkpoint(version)
+
+    def restore(self, version: int, views: List[View]) -> Generator[Event, Any, None]:
+        self.register_views(views)
+        yield from self.client.recover(version)
+
+    def local_versions(self) -> Set[int]:
+        return self.client.local_versions()
+
+    def latest_version(self) -> Generator[Event, Any, int]:
+        if self.client.config.collective:
+            # stock behaviour: the query is collective inside VeloC
+            result = yield from self.client.restart_test()
+            return result
+        # single mode: reduce here, over the *current* communicator
+        local = self.client.local_versions()
+        result = yield from self._intersect_versions(self.comm, local)
+        return result
+
+    def reset(self, comm: CommHandle) -> None:
+        self.comm = comm
+        self.client.set_comm(comm)

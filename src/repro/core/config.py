@@ -1,0 +1,43 @@
+"""Configuration for the control-flow resilience context."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+from repro.core.filters import always, Filter
+from repro.util.errors import ConfigError
+
+BACKEND_VELOC = "veloc"
+BACKEND_STDFILE = "stdfile"
+BACKEND_FENIX_IMR = "fenix_imr"
+
+SCOPE_ALL = "all"
+SCOPE_RECOVERED_ONLY = "recovered_only"
+
+
+@dataclass(frozen=True)
+class KRConfig:
+    """Context configuration.
+
+    Attributes:
+        backend: which C/R backend the context drives.
+        veloc_single_mode: launch VeloC non-collectively and perform the
+            best-version reduction in this layer (the paper's new
+            configuration option enabling Fenix integration).
+        filter: per-iteration checkpoint predicate.
+        recovery_scope: ``"all"`` restores every rank (full rollback);
+            ``"recovered_only"`` restores only replacement ranks (the
+            partial-rollback demonstration of Section V-A).
+    """
+
+    backend: str = BACKEND_VELOC
+    veloc_single_mode: bool = True
+    filter: Filter = field(default=always)
+    recovery_scope: str = SCOPE_ALL
+
+    def __post_init__(self) -> None:
+        if self.backend not in (BACKEND_VELOC, BACKEND_STDFILE, BACKEND_FENIX_IMR):
+            raise ConfigError(f"unknown KR backend {self.backend!r}")
+        if self.recovery_scope not in (SCOPE_ALL, SCOPE_RECOVERED_ONLY):
+            raise ConfigError(f"unknown recovery scope {self.recovery_scope!r}")

@@ -1,0 +1,233 @@
+"""The checkpoint context: Figure 4's ``ctx`` object.
+
+Lifecycle (matching the paper's resilient-application pattern):
+
+- ``INITIAL`` / ``RECOVERED`` ranks create a context with
+  :func:`make_context`;
+- ``SURVIVOR`` ranks call :meth:`Context.reset` with the repaired
+  communicator -- which clears the checkpoint-metadata cache ("a
+  checkpoint finished locally may not have finished globally") and pushes
+  the new communicator/rank identity into the backend (and through it into
+  VeloC);
+- every rank then asks :meth:`Context.latest_version` where to resume and
+  runs the iteration loop through :meth:`Context.checkpoint`.
+
+:meth:`Context.checkpoint` is the single entry point for both directions:
+on a recovery iteration it restores the discovered views instead of
+executing the region; otherwise it executes the region and checkpoints
+when the filter says so.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.core.backends import Backend, FenixIMRBackend, StdFileBackend, VeloCBackend
+from repro.core.config import (
+    BACKEND_FENIX_IMR,
+    BACKEND_STDFILE,
+    BACKEND_VELOC,
+    KRConfig,
+    SCOPE_RECOVERED_ONLY,
+)
+from repro.core.detect import discover_views
+from repro.fenix.imr import IMRStore
+from repro.fenix.roles import Role
+from repro.kokkos.registry import ViewCensus
+from repro.mpi.handle import CommHandle
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Event
+from repro.util.errors import ConfigError
+from repro.util.timing import CHECKPOINT_FUNCTION, DATA_RECOVERY, RESILIENCE_INIT
+from repro.veloc import VeloCClient, VeloCConfig, VeloCService
+
+
+class Context:
+    """Per-rank control-flow resilience context."""
+
+    def __init__(self, comm: CommHandle, config: KRConfig, backend: Backend) -> None:
+        self.comm = comm
+        self.config = config
+        self.backend = backend
+        self.role: Role = Role.INITIAL
+        self._latest_cache: Optional[int] = None
+        self._recovery_version = -1
+        self._recovery_pending = False
+        self._post_failure = False
+        self._subscriptions: List[Any] = []
+        self._bound_label: Optional[str] = None
+        #: census of the most recent checkpoint region (Figure-7 reporting)
+        self.last_census: Optional[ViewCensus] = None
+        self.checkpoints_taken = 0
+        self.recoveries_done = 0
+
+    @property
+    def ctx(self):
+        return self.comm.ctx
+
+    # -- subscriptions ------------------------------------------------------
+
+    def subscribe(self, obj: Any) -> None:
+        """Add an extra discovery root (an app-state object holding views)."""
+        self._subscriptions.append(obj)
+
+    # -- role / reset -----------------------------------------------------------
+
+    def set_role(self, role: Role) -> None:
+        self.role = role
+
+    def reset(self, comm: CommHandle, role: Role = Role.SURVIVOR) -> None:
+        """Adopt a repaired communicator (the paper's extended reset).
+
+        Clears cached checkpoint metadata, updates this context's and the
+        backend's (and VeloC's) communicator and rank identity.
+        """
+        self.comm = comm
+        self.role = role
+        self._latest_cache = None
+        self._recovery_pending = False
+        self._post_failure = True
+        self.backend.reset(comm)
+
+    # -- version metadata -----------------------------------------------------------
+
+    def latest_version(self) -> Generator[Event, Any, int]:
+        """The newest globally restorable version (cached until reset).
+
+        Arms recovery: if a version exists, the checkpoint region for that
+        iteration will restore instead of execute.
+        """
+        if self._latest_cache is None:
+            label = DATA_RECOVERY if self._post_failure else RESILIENCE_INIT
+            with self.ctx.account.label(label):
+                version = yield from self.backend.latest_version()
+            self._latest_cache = version
+        self._recovery_version = self._latest_cache
+        self._recovery_pending = self._latest_cache >= 0
+        return self._latest_cache
+
+    @property
+    def recovery_pending(self) -> bool:
+        return self._recovery_pending
+
+    # -- the checkpoint region ------------------------------------------------------
+
+    def checkpoint(
+        self,
+        label: str,
+        iteration: int,
+        fn: Callable[[], Any],
+    ) -> Generator[Event, Any, bool]:
+        """Execute (or recover) one checkpoint region.
+
+        Discovers the views reachable from ``fn``, classifies them
+        (checkpointed / alias / skipped), and either:
+
+        - **recovers**: when this iteration is the armed recovery version,
+          restores the views instead of executing ``fn`` (full rollback) --
+          or skips restoration on survivors under the partial-rollback
+          scope -- and returns ``False``;
+        - **executes**: runs ``fn`` (a plain callable or a generator
+          function performing MPI), then checkpoints if the configured
+          filter accepts the iteration, and returns ``True``.
+
+        One context serves one checkpoint region: the first call binds
+        ``label`` and later calls must match (a second region needs its
+        own context, as in Kokkos Resilience practice -- backend version
+        keys do not encode the label).
+        """
+        if self._bound_label is None:
+            self._bound_label = label
+        elif label != self._bound_label:
+            raise ConfigError(
+                f"context already bound to region {self._bound_label!r}; "
+                f"create a separate context for {label!r}"
+            )
+        views = discover_views(fn, extra=self._subscriptions or None)
+        census = self._classify(views)
+        self.last_census = census
+        to_save = census.checkpointed
+        if self._recovery_pending and iteration == self._recovery_version:
+            self._recovery_pending = False
+            skip_restore = (
+                self.config.recovery_scope == SCOPE_RECOVERED_ONLY
+                and self.role is not Role.RECOVERED
+            )
+            if not skip_restore:
+                with self.ctx.account.label(DATA_RECOVERY):
+                    yield from self.backend.restore(iteration, to_save)
+                    yield from self._stage_device_views(to_save)
+                self.recoveries_done += 1
+            return False
+        result = fn()
+        if hasattr(result, "send"):  # generator region: drive it
+            yield from result
+        if self.config.filter(iteration):
+            self.backend.register_views(to_save)
+            with self.ctx.account.label(CHECKPOINT_FUNCTION):
+                yield from self._stage_device_views(to_save)
+                yield from self.backend.checkpoint(iteration)
+            self.checkpoints_taken += 1
+        return True
+
+    def _stage_device_views(self, views: List[Any]) -> Generator[Event, Any, None]:
+        """Move device-resident views across the device link.
+
+        Figure 3's "Heterogenous Device Data Management": checkpoint data
+        living in accelerator memory is staged through the host before a
+        write (and back after a restore), at the node's device-link
+        bandwidth.  Host views cost nothing here.
+        """
+        device_bytes = sum(v.modeled_nbytes for v in views if v.on_device)
+        if device_bytes > 0:
+            dt = self.ctx.node.device_copy_time(device_bytes)
+            yield self.ctx.engine.timeout(dt)
+            # charged under the caller's label (checkpoint fn / recovery)
+            self.ctx.account.charge("compute", dt)
+
+    def _classify(self, views: List[Any]) -> ViewCensus:
+        """Census using each view's own registry for alias declarations."""
+        census = ViewCensus()
+        seen_buffers = set()
+        for view in views:
+            registry = view.registry
+            if registry is not None and registry.is_alias(view):
+                census.aliases.append(view)
+                continue
+            buf = view.buffer_id()
+            if buf in seen_buffers:
+                census.skipped.append(view)
+                continue
+            seen_buffers.add(buf)
+            census.checkpointed.append(view)
+        return census
+
+
+def make_context(
+    comm: CommHandle,
+    config: KRConfig,
+    cluster: Cluster,
+    veloc_service: Optional[VeloCService] = None,
+    imr_store: Optional[IMRStore] = None,
+    ckpt_name: str = "kr",
+) -> Context:
+    """Build a context with the configured backend (Figure 4's
+    ``KokkosResilience::make_context``)."""
+    if config.backend == BACKEND_VELOC:
+        if veloc_service is None:
+            raise ConfigError("VeloC backend requires a VeloCService")
+        vconf = VeloCConfig(
+            mode="single" if config.veloc_single_mode else "collective",
+            ckpt_name=ckpt_name,
+        )
+        client = VeloCClient(comm.ctx, cluster, veloc_service, vconf, comm=comm)
+        backend: Backend = VeloCBackend(client, comm)
+    elif config.backend == BACKEND_STDFILE:
+        backend = StdFileBackend(cluster, comm, prefix=ckpt_name)
+    elif config.backend == BACKEND_FENIX_IMR:
+        if imr_store is None:
+            raise ConfigError("Fenix-IMR backend requires an IMRStore")
+        backend = FenixIMRBackend(imr_store, comm)
+    else:  # pragma: no cover - config validates
+        raise ConfigError(f"unknown backend {config.backend!r}")
+    return Context(comm, config, backend)

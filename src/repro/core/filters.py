@@ -1,0 +1,38 @@
+"""Checkpoint filters (Kokkos Resilience's checkpoint_filter concept).
+
+A filter decides, per iteration, whether the checkpoint region actually
+writes a checkpoint.  The paper's benchmarks checkpoint by iteration count
+(Heatdis: "6 checkpoints" over the run), i.e. :func:`every_nth`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.util.errors import ConfigError
+
+Filter = Callable[[int], bool]
+
+
+def every_nth(n: int, offset: int = 0) -> Filter:
+    """True on iterations ``offset + k*n`` for ``k >= 1`` (skips iteration
+    ``offset`` itself so a run's very first iteration is not checkpointed,
+    matching VeloC benchmark practice)."""
+    if n < 1:
+        raise ConfigError(f"filter interval must be >= 1, got {n}")
+
+    def filt(iteration: int) -> bool:
+        delta = iteration - offset
+        return delta > 0 and delta % n == 0
+
+    return filt
+
+
+def always(iteration: int) -> bool:
+    """Checkpoint every iteration."""
+    return True
+
+
+def never(iteration: int) -> bool:
+    """Never checkpoint (control runs)."""
+    return False

@@ -1,0 +1,93 @@
+"""Command-line driver: regenerate the paper's evaluation.
+
+Usage::
+
+    python -m repro.experiments [fig5|fig6|fig7|partial|complexity|all]
+        [--ranks N] [--full-scale]
+
+Prints each figure's table (the same rows the benchmark suite writes to
+``results/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.complexity import analyze_complexity, format_complexity
+from repro.experiments.fig5_heatdis import (
+    format_fig5,
+    run_fig5_data_scaling,
+    run_fig5_weak_scaling,
+)
+from repro.experiments.fig6_minimd import format_fig6, run_fig6_weak_scaling
+from repro.experiments.fig7_views import format_fig7, run_fig7_census
+from repro.experiments.partial_rollback import run_partial_rollback_comparison
+
+
+def _fig5(args) -> None:
+    ranks = args.ranks or (64 if args.full_scale else 8)
+    print(format_fig5(
+        run_fig5_data_scaling(n_ranks=ranks),
+        title=f"Figure 5 (left): data scaling at {ranks} ranks",
+    ))
+    nodes = [4, 16, 64] if args.full_scale else [2, 4, 8]
+    print()
+    print(format_fig5(
+        run_fig5_weak_scaling(nodes=nodes),
+        title="Figure 5 (right): weak scaling at 1GB/node",
+    ))
+
+
+def _fig6(args) -> None:
+    ranks = [8, 27, 64] if args.full_scale else [4, 8]
+    print(format_fig6(run_fig6_weak_scaling(ranks=ranks)))
+
+
+def _fig7(_args) -> None:
+    print(format_fig7(run_fig7_census()))
+
+
+def _partial(args) -> None:
+    result = run_partial_rollback_comparison(n_ranks=args.ranks or 8)
+    print("Partial vs full rollback (Section VI-D2):")
+    print(f"  full recovery cost:    {result.full_recovery_cost:.2f} s")
+    print(f"  partial recovery cost: {result.partial_recovery_cost:.2f} s")
+    print(f"  speedup: {result.speedup:.2f}x (paper: 'nearly 2x')")
+
+
+def _complexity(_args) -> None:
+    print(format_complexity(analyze_complexity()))
+
+
+COMMANDS = {
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "partial": _partial,
+    "complexity": _complexity,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation figures.",
+    )
+    parser.add_argument("what", choices=[*COMMANDS, "all"], nargs="?",
+                        default="all")
+    parser.add_argument("--ranks", type=int, default=None,
+                        help="override the rank count")
+    parser.add_argument("--full-scale", action="store_true",
+                        help="use the paper's node counts (slower)")
+    args = parser.parse_args(argv)
+    targets = list(COMMANDS) if args.what == "all" else [args.what]
+    for i, name in enumerate(targets):
+        if i:
+            print("\n" + "=" * 72 + "\n")
+        COMMANDS[name](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Shared experiment environment: the modelled Cray XC40 + Lustre platform.
+
+Section VI-B: "a 100-node Cray XC40 ... 2-socket Intel Haswell CPU nodes
+with 32 cores/node ... disk-based checkpointing stores to the Lustre
+distributed file system."  The numbers below approximate that platform's
+*ratios* (NIC vs PFS bandwidth, node compute throughput), which is what
+the figures' shapes depend on.
+"""
+
+from __future__ import annotations
+
+from repro.harness import ExperimentEnv, JobCosts
+from repro.sim import ClusterSpec, NetworkSpec, NodeSpec, PFSSpec
+from repro.util.units import GiB, MiB
+
+
+def paper_env(
+    n_nodes: int,
+    n_spares: int = 1,
+    seed: int = 20220906,
+    pfs_servers: int = 4,
+) -> ExperimentEnv:
+    """The reproduction's stand-in for the paper's test platform.
+
+    ``pfs_servers`` sets the Lustre I/O-server count (4 for the paper's
+    64-node runs).  Reduced-scale tests pass a proportionally smaller
+    value so the node : PFS bandwidth ratio -- which the congestion
+    effects depend on -- matches the full-scale configuration.
+    """
+    spec = ClusterSpec(
+        n_nodes=n_nodes,
+        node=NodeSpec(
+            flops=500.0e9,            # 2-socket Haswell, realistic sustained
+            nic_bandwidth=10.0 * GiB,  # Cray Aries class
+            nic_latency=1.5e-6,
+            memory_bandwidth=60.0 * GiB,
+            cores=32,
+        ),
+        network=NetworkSpec(fabric_latency=0.5e-6, chunk_bytes=4 * MiB),
+        pfs=PFSSpec(
+            # a small Lustre partition: few I/O servers relative to nodes
+            n_servers=pfs_servers,
+            server_bandwidth=2.0 * GiB,
+            server_latency=5.0e-5,
+            chunk_bytes=8 * MiB,
+        ),
+        seed=seed,
+    )
+    costs = JobCosts(
+        mpirun_launch=3.0,
+        per_node_launch=0.02,
+        mpi_init=0.5,
+        mpi_finalize=0.2,
+        teardown=2.0,
+        app_noncomm_init=0.3,
+        app_comm_init=0.5,
+    )
+    return ExperimentEnv(cluster_spec=spec, costs=costs, n_spares=n_spares)

@@ -1,0 +1,158 @@
+"""Figure 5: Heatdis overhead and failure cost.
+
+Left panel: 64-node runs with per-node data scaled over
+{16 MB, 64 MB, 256 MB, 1 GB}.  Right panel: 1 GB per node, weak-scaled
+over {4, 16, 64} nodes.  For each strategy the paper stacks the
+no-failure run's categories (bottom) and shows the *extra* cost of a
+failing run (top): we report both runs per cell.
+
+Paper protocol (Section VI-C): every configuration performs 6 checkpoints,
+each half the application data; failures kill one rank ~95% of the way
+between checkpoints 4 and 5; reported numbers come from the in-app
+category accounting plus the ``time mpirun`` wall clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.apps import HeatdisConfig
+from repro.harness import RunReport, run_heatdis_job
+from repro.experiments.common import paper_env
+from repro.sim import IterationFailure
+from repro.util.units import parse_size
+
+#: the strategy columns of Figure 5
+FIG5_STRATEGIES = [
+    "none",
+    "veloc",
+    "kr_veloc",
+    "fenix_veloc",
+    "fenix_kr_veloc",
+    "fenix_kr_imr",
+]
+
+#: 6 checkpoints over the run (Section VI-C)
+N_ITERS = 60
+CKPT_INTERVAL = 9
+#: failure 95% of the way between checkpoints 4 and 5
+FAIL_AFTER_CKPT = 4
+#: compute folded per modelled iteration (see HeatdisConfig.work_multiplier)
+WORK_MULTIPLIER = 2000.0
+
+DATA_SIZES = ["16MB", "64MB", "256MB", "1GB"]
+WEAK_SCALING_NODES = [4, 16, 64]
+
+
+@dataclass
+class Fig5Cell:
+    """One (strategy, size, nodes) cell: clean + failure runs."""
+
+    strategy: str
+    data_bytes: float
+    n_ranks: int
+    clean: RunReport
+    failed: Optional[RunReport]
+
+    @property
+    def overhead_categories(self) -> Dict[str, float]:
+        return self.clean.as_row()
+
+    @property
+    def failure_cost(self) -> Optional[float]:
+        """Extra wall time the failure added (the figure's top panel)."""
+        if self.failed is None:
+            return None
+        return self.failed.wall_time - self.clean.wall_time
+
+
+def _heat_cfg(data_bytes: float, jitter: float = 0.05) -> HeatdisConfig:
+    return HeatdisConfig(
+        local_rows=8,
+        cols=16,
+        modeled_bytes_per_rank=data_bytes,
+        n_iters=N_ITERS,
+        compute_jitter=jitter,
+        work_multiplier=WORK_MULTIPLIER,
+    )
+
+
+def run_fig5_cell(
+    strategy: str,
+    data_bytes: "float | str",
+    n_ranks: int,
+    with_failure: bool = True,
+    victim: int = 1,
+    pfs_servers: int = 4,
+) -> Fig5Cell:
+    """Run one Figure-5 cell (a clean run and optionally a failing run)."""
+    data_bytes = parse_size(data_bytes)
+    cfg = _heat_cfg(data_bytes)
+    env = paper_env(n_nodes=n_ranks + 1, pfs_servers=pfs_servers)
+    clean = run_heatdis_job(env, strategy, n_ranks, cfg, CKPT_INTERVAL)
+    failed = None
+    if with_failure and strategy != "none":
+        plan = IterationFailure.between_checkpoints(
+            victim, CKPT_INTERVAL, FAIL_AFTER_CKPT, fraction=0.95
+        )
+        env2 = paper_env(n_nodes=n_ranks + 1, pfs_servers=pfs_servers)
+        failed = run_heatdis_job(env2, strategy, n_ranks, cfg, CKPT_INTERVAL,
+                                 plan=plan)
+    return Fig5Cell(strategy, data_bytes, n_ranks, clean, failed)
+
+
+def run_fig5_data_scaling(
+    n_ranks: int = 64,
+    sizes: Optional[List[str]] = None,
+    strategies: Optional[List[str]] = None,
+    with_failure: bool = True,
+) -> List[Fig5Cell]:
+    """The left panel: data scaling at fixed node count."""
+    out = []
+    for size in sizes or DATA_SIZES:
+        for strategy in strategies or FIG5_STRATEGIES:
+            out.append(run_fig5_cell(strategy, size, n_ranks, with_failure))
+    return out
+
+
+def run_fig5_weak_scaling(
+    data_size: str = "1GB",
+    nodes: Optional[List[int]] = None,
+    strategies: Optional[List[str]] = None,
+    with_failure: bool = True,
+) -> List[Fig5Cell]:
+    """The right panel: node weak scaling at 1 GB per node."""
+    out = []
+    for n in nodes or WEAK_SCALING_NODES:
+        for strategy in strategies or FIG5_STRATEGIES:
+            out.append(run_fig5_cell(strategy, data_size, n, with_failure))
+    return out
+
+
+def format_fig5(cells: List[Fig5Cell], title: str = "Figure 5") -> str:
+    """Render cells as the figure's rows (categories + failure cost)."""
+    from repro.harness.report import HEATDIS_CATEGORIES, summarize_categories
+    from repro.util.units import format_size
+
+    lines = [title]
+    header = (
+        ["strategy", "data", "ranks"]
+        + HEATDIS_CATEGORIES
+        + ["wall", "fail_cost"]
+    )
+    rows = []
+    for cell in cells:
+        summary = summarize_categories(cell.clean, HEATDIS_CATEGORIES)
+        fail = "-" if cell.failure_cost is None else f"{cell.failure_cost:.2f}"
+        rows.append(
+            [cell.strategy, format_size(cell.data_bytes), str(cell.n_ranks)]
+            + [f"{summary[c]:.2f}" for c in HEATDIS_CATEGORIES]
+            + [f"{cell.clean.wall_time:.2f}", fail]
+        )
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows))
+              for i in range(len(header))]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""Figure 6: MiniMD resilience weak scaling.
+
+Weak scaling over rank counts with the per-phase breakdown ("Force
+Compute", "Neighboring", "Communicator"), the resilience categories, and
+"Other"; plus the failure-run extra cost.  MiniMD's larger initialization
+cost is what makes the Fenix savings in "Other" bigger than Heatdis's
+(Section VI-D2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.apps import MiniMDConfig
+from repro.experiments.common import paper_env
+from repro.harness import JobCosts, RunReport, run_minimd_job
+from repro.sim import IterationFailure
+
+FIG6_STRATEGIES = ["none", "kr_veloc", "fenix_kr_veloc"]
+
+N_STEPS = 60
+CKPT_INTERVAL = 9
+FAIL_AFTER_CKPT = 4
+WORK_MULTIPLIER = 600.0
+RANK_COUNTS = [8, 27, 64]
+#: MiniMD reads inputs and builds large structures at startup: a much
+#: bigger init than Heatdis, which is the point of the comparison
+MINIMD_APP_INIT = 4.0
+
+
+@dataclass
+class Fig6Cell:
+    strategy: str
+    n_ranks: int
+    clean: RunReport
+    failed: Optional[RunReport]
+
+    @property
+    def failure_cost(self) -> Optional[float]:
+        if self.failed is None:
+            return None
+        return self.failed.wall_time - self.clean.wall_time
+
+
+def _md_cfg(n_ranks: int, jitter: float) -> MiniMDConfig:
+    # weak scaling: the modelled per-rank atom count is held constant
+    # (a 100^3 lattice per pair of ranks -> 2M atoms, ~96 MB of positions
+    # per rank) as the rank count grows
+    return MiniMDConfig(
+        real_atoms_per_rank=24,
+        problem_size=100,
+        n_ranks_for_model=2,
+        n_steps=N_STEPS,
+        dt=0.003,
+        neigh_every=6,
+        compute_jitter=jitter,
+        work_multiplier=WORK_MULTIPLIER,
+    )
+
+
+def _md_env(n_ranks: int, pfs_servers: int = 4):
+    env = paper_env(n_nodes=n_ranks + 1, pfs_servers=pfs_servers)
+    costs = JobCosts(
+        mpirun_launch=env.costs.mpirun_launch,
+        per_node_launch=env.costs.per_node_launch,
+        mpi_init=env.costs.mpi_init,
+        mpi_finalize=env.costs.mpi_finalize,
+        teardown=env.costs.teardown,
+        app_noncomm_init=MINIMD_APP_INIT / 2,
+        app_comm_init=MINIMD_APP_INIT / 2,
+    )
+    return type(env)(cluster_spec=env.cluster_spec, costs=costs,
+                     n_spares=env.n_spares)
+
+
+def run_fig6_cell(
+    strategy: str,
+    n_ranks: int,
+    with_failure: bool = True,
+    jitter: float = 0.05,
+    victim: int = 1,
+    pfs_servers: int = 4,
+) -> Fig6Cell:
+    """One (strategy, rank count) cell of Figure 6.
+
+    ``jitter`` models the performance variability that, at larger node
+    counts, hides part of the asynchronous-checkpoint latency inside the
+    compute phases (Section VI-D1).
+    """
+    cfg = _md_cfg(n_ranks, jitter)
+    clean = run_minimd_job(
+        _md_env(n_ranks, pfs_servers), strategy, n_ranks, cfg, CKPT_INTERVAL
+    )
+    failed = None
+    if with_failure and strategy != "none":
+        plan = IterationFailure.between_checkpoints(
+            victim, CKPT_INTERVAL, FAIL_AFTER_CKPT, fraction=0.95
+        )
+        failed = run_minimd_job(
+            _md_env(n_ranks, pfs_servers), strategy, n_ranks, cfg,
+            CKPT_INTERVAL, plan=plan,
+        )
+    return Fig6Cell(strategy, n_ranks, clean, failed)
+
+
+def run_fig6_weak_scaling(
+    ranks: Optional[List[int]] = None,
+    strategies: Optional[List[str]] = None,
+    with_failure: bool = True,
+    jitter: float = 0.05,
+) -> List[Fig6Cell]:
+    out = []
+    for n in ranks or RANK_COUNTS:
+        for strategy in strategies or FIG6_STRATEGIES:
+            out.append(run_fig6_cell(strategy, n, with_failure, jitter))
+    return out
+
+
+def format_fig6(cells: List[Fig6Cell], title: str = "Figure 6") -> str:
+    from repro.harness.report import MINIMD_CATEGORIES, summarize_categories
+
+    lines = [title]
+    header = ["strategy", "ranks"] + MINIMD_CATEGORIES + ["wall", "fail_cost"]
+    rows = []
+    for cell in cells:
+        summary = summarize_categories(cell.clean, MINIMD_CATEGORIES)
+        fail = "-" if cell.failure_cost is None else f"{cell.failure_cost:.2f}"
+        rows.append(
+            [cell.strategy, str(cell.n_ranks)]
+            + [f"{summary[c]:.2f}" for c in MINIMD_CATEGORIES]
+            + [f"{cell.clean.wall_time:.2f}", fail]
+        )
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows))
+              for i in range(len(header))]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

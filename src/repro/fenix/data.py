@@ -1,0 +1,265 @@
+"""Fenix data groups: the Fenix_Data_* API with commit consistency.
+
+Fenix's data interface is richer than a bare buddy store: members are
+written into a *staging* snapshot (``Fenix_Data_member_store``) and become
+restorable only when the group is committed (``Fenix_Data_commit``), which
+promotes every staged member atomically to a new consistent version.  If
+the owner dies between store and commit, the staged data -- including the
+copy already sitting at the buddy -- is *not* restorable, exactly the
+transactional behaviour that lets applications reason about which
+iteration a restart will resume from.
+
+:class:`DataGroup` implements this on top of
+:class:`~repro.fenix.imr.IMRStore`: stores pay the local copy plus the
+synchronous buddy transfer; commit is cheap (one promotion pass plus a
+small marker message to the buddy).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
+
+from repro.fenix.errors import FenixError
+from repro.fenix.imr import IMRStore, buddy_rank
+from repro.kokkos.view import View
+from repro.mpi.handle import CommHandle
+from repro.sim.engine import Event
+from repro.util.timing import CHECKPOINT_FUNCTION
+
+#: key marker for uncommitted snapshots
+_STAGED = "staged"
+
+
+class DataGroup:
+    """One Fenix data group bound to a communicator."""
+
+    def __init__(
+        self,
+        store: IMRStore,
+        comm: CommHandle,
+        group_id: int,
+        keep_versions: int = 2,
+    ) -> None:
+        self.store = store
+        self.comm = comm
+        self.group_id = int(group_id)
+        self.keep_versions = keep_versions
+        self._members: Dict[int, View] = {}
+        self._next_version = 0
+
+    # -- membership ---------------------------------------------------------
+
+    def member_create(self, member_id: int, view: View) -> None:
+        """Fenix_Data_member_create: register a member buffer."""
+        if member_id in self._members and self._members[member_id] is not view:
+            raise FenixError(
+                f"group {self.group_id}: member {member_id} already bound"
+            )
+        self._members[member_id] = view
+
+    @property
+    def members(self) -> List[int]:
+        return sorted(self._members)
+
+    def _key(self, member_id: int, version: Any) -> Tuple:
+        return ((self.group_id, member_id), version, self.comm.rank)
+
+    def _buddy_world(self) -> Optional[int]:
+        partner = buddy_rank(self.comm.rank, self.comm.size)
+        if partner == self.comm.rank:
+            return None
+        return self.comm.comm.world_rank(partner)
+
+    # -- store / commit -------------------------------------------------------
+
+    def member_store(
+        self, member_id: int, view: Optional[View] = None
+    ) -> Generator[Event, Any, None]:
+        """Fenix_Data_member_store: snapshot into the staging area.
+
+        Pays the local memory copy and the synchronous buddy transfer;
+        the snapshot is NOT restorable until :meth:`commit`.
+        """
+        if view is not None:
+            self.member_create(member_id, view)
+        target = self._members.get(member_id)
+        if target is None:
+            raise FenixError(f"group {self.group_id}: unknown member {member_id}")
+        ctx = self.comm.ctx
+        engine = ctx.engine
+        t0 = engine.now
+        data = target.copy_data()
+        nbytes = target.modeled_nbytes
+        key = self._key(member_id, _STAGED)
+        yield engine.timeout(ctx.node.memcpy_time(nbytes))
+        self.store._slot(ctx.rank)[key] = (data, nbytes)
+        buddy_world = self._buddy_world()
+        if buddy_world is not None:
+            buddy_node = self.store.world.node_of_rank(buddy_world)
+            yield from self.store.world.network.transfer(
+                ctx.node, buddy_node, nbytes
+            )
+            import numpy as np
+
+            self.store._slot(buddy_world)[key] = (np.copy(data), nbytes)
+        ctx.account.charge(CHECKPOINT_FUNCTION, engine.now - t0)
+
+    def commit(self) -> Generator[Event, Any, int]:
+        """Fenix_Data_commit: atomically promote every staged member to a
+        new consistent version; returns the version (time stamp)."""
+        ctx = self.comm.ctx
+        engine = ctx.engine
+        t0 = engine.now
+        version = self._next_version
+        self._next_version += 1
+        slots = [self.store._slot(ctx.rank)]
+        buddy_world = self._buddy_world()
+        if buddy_world is not None:
+            # the commit marker is one small message to the buddy
+            buddy_node = self.store.world.node_of_rank(buddy_world)
+            yield from self.store.world.network.transfer(
+                ctx.node, buddy_node, 64.0
+            )
+            slots.append(self.store._slot(buddy_world))
+        committed_any = False
+        for slot in slots:
+            for member_id in list(self._members):
+                staged_key = self._key(member_id, _STAGED)
+                if staged_key in slot:
+                    slot[self._key(member_id, version)] = slot.pop(staged_key)
+                    committed_any = True
+                else:
+                    # carry the member's previous committed snapshot
+                    # forward so every commit is a complete version
+                    prev = self._latest_in_slot(slot, member_id, version)
+                    if prev is not None:
+                        slot[self._key(member_id, version)] = prev
+        if not committed_any:
+            raise FenixError(
+                f"group {self.group_id}: commit with nothing staged"
+            )
+        self._gc(version)
+        ctx.account.charge(CHECKPOINT_FUNCTION, engine.now - t0)
+        return version
+
+    def _latest_in_slot(
+        self, slot: Dict, member_id: int, before: int
+    ) -> Optional[Tuple[Any, float]]:
+        best: Optional[int] = None
+        for (gm, v, owner) in slot:
+            if (
+                isinstance(gm, tuple)
+                and gm == (self.group_id, member_id)
+                and owner == self.comm.rank
+                and isinstance(v, int)
+                and v < before
+                and (best is None or v > best)
+            ):
+                best = v
+        if best is None:
+            return None
+        return slot[self._key(member_id, best)]
+
+    def _gc(self, latest: int) -> None:
+        cutoff = latest - self.keep_versions + 1
+        for world_rank in (self.comm.ctx.rank, self._buddy_world()):
+            if world_rank is None:
+                continue
+            slot = self.store._slot(world_rank)
+            stale = [
+                k
+                for k in slot
+                if isinstance(k[0], tuple)
+                and k[0][0] == self.group_id
+                and k[2] == self.comm.rank
+                and isinstance(k[1], int)
+                and k[1] < cutoff
+            ]
+            for k in stale:
+                del slot[k]
+
+    # -- queries / restore --------------------------------------------------------
+
+    def committed_versions(self) -> Set[int]:
+        """Versions restorable by this rank: every member present, locally
+        or at a live buddy, committed only.
+
+        A freshly created group (e.g. on a recovered replacement process)
+        has no member registrations yet; membership is then inferred from
+        the stored keys, mirroring Fenix's recovery-side metadata."""
+        ctx = self.comm.ctx
+        sources = [self.store._memory.get(ctx.rank, {})]
+        buddy_world = self._buddy_world()
+        if buddy_world is not None and self.store.world.is_alive(buddy_world):
+            sources.append(self.store._memory.get(buddy_world, {}))
+        member_ids = set(self._members)
+        if not member_ids:
+            for mem in sources:
+                for (gm, version, owner) in mem:
+                    if (
+                        isinstance(gm, tuple)
+                        and gm[0] == self.group_id
+                        and owner == self.comm.rank
+                        and isinstance(version, int)
+                    ):
+                        member_ids.add(gm[1])
+        per_member: Dict[int, Set[int]] = {m: set() for m in member_ids}
+        for mem in sources:
+            for (gm, version, owner) in mem:
+                if not isinstance(gm, tuple) or gm[0] != self.group_id:
+                    continue
+                if owner != self.comm.rank or not isinstance(version, int):
+                    continue
+                if gm[1] in per_member:
+                    per_member[gm[1]].add(version)
+        if not per_member:
+            return set()
+        common: Optional[Set[int]] = None
+        for versions in per_member.values():
+            common = versions if common is None else (common & versions)
+        return common or set()
+
+    def member_restore(
+        self, member_id: int, version: int, view: Optional[View] = None
+    ) -> Generator[Event, Any, str]:
+        """Fenix_Data_member_restore for a committed version."""
+        if view is not None:
+            self.member_create(member_id, view)
+        target = self._members.get(member_id)
+        if target is None:
+            raise FenixError(f"group {self.group_id}: unknown member {member_id}")
+        ctx = self.comm.ctx
+        engine = ctx.engine
+        key = self._key(member_id, int(version))
+        own = self.store._memory.get(ctx.rank, {})
+        from repro.util.timing import DATA_RECOVERY
+
+        t0 = engine.now
+        if key in own:
+            data, nbytes = own[key]
+            yield engine.timeout(ctx.node.memcpy_time(nbytes))
+            tier = "local"
+        else:
+            buddy_world = self._buddy_world()
+            buddy_mem = (
+                self.store._memory.get(buddy_world, {})
+                if buddy_world is not None
+                else {}
+            )
+            if key not in buddy_mem:
+                raise FenixError(
+                    f"group {self.group_id}: member {member_id} v{version} "
+                    "not restorable"
+                )
+            data, nbytes = buddy_mem[key]
+            buddy_node = self.store.world.node_of_rank(buddy_world)
+            yield from self.store.world.network.transfer(
+                buddy_node, ctx.node, nbytes
+            )
+            import numpy as np
+
+            self.store._slot(ctx.rank)[key] = (np.copy(data), nbytes)
+            tier = "buddy"
+        target.load_data(data)
+        ctx.account.charge(DATA_RECOVERY, engine.now - t0)
+        return tier

@@ -1,0 +1,28 @@
+"""Fenix error and control-flow exception classes."""
+
+from __future__ import annotations
+
+from repro.util.errors import ReproError
+
+
+class FenixError(ReproError):
+    """Fenix-level failure (misconfiguration, unrecoverable state)."""
+
+
+class SpareExhaustionError(FenixError):
+    """More ranks failed than spares remain, under the ``abort`` policy."""
+
+
+class FenixLongJump(BaseException):
+    """The long-jump back to Fenix initialization after a failure.
+
+    Derives from ``BaseException`` so ordinary ``except Exception`` blocks
+    in application code cannot accidentally swallow the recovery jump --
+    the same reason real Fenix uses ``longjmp`` rather than error codes.
+    Raised by :class:`repro.fenix.handle.FenixCommHandle`'s error handler
+    and caught only by :meth:`repro.fenix.runtime.FenixSystem.run`.
+    """
+
+    def __init__(self, generation: int) -> None:
+        super().__init__(f"fenix long-jump (generation {generation})")
+        self.generation = generation

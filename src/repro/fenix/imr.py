@@ -1,0 +1,202 @@
+"""Fenix In-Memory Redundancy (IMR) data store, buddy-rank policy.
+
+The paper (Section V-A): "ranks form pairs and store each other's
+checkpointed data. Local copies of checkpoints are also kept, increasing
+memory use in exchange for quick, local recovery on surviving ranks."
+
+Cost structure -- the crux of the Figure 5 IMR-vs-VeloC comparison:
+
+- ``store`` is *synchronous*: the caller pays a local memory copy plus a
+  network transfer to its buddy inside the checkpoint function, so the
+  checkpoint-function cost scales directly with the checkpoint size;
+- traffic is pairwise over ordinary NICs, so aggregate bandwidth grows
+  with every rank added ("each rank adds both a producer and a consumer"),
+  unlike the fixed PFS servers VeloC flushes through;
+- restore is a local memcpy for survivors and a single buddy fetch for a
+  recovered rank.
+
+Data lives in per-*process* memory (keyed by world rank): when a rank dies
+its copies die with it, and a replacement spare starts empty -- which is
+why only the buddy copy saves the day, and why losing both members of a
+pair between checkpoints loses the data (single redundancy, as in Fenix).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Set, Tuple
+
+import numpy as np
+
+from repro.fenix.errors import FenixError
+from repro.kokkos.view import View
+from repro.mpi.handle import CommHandle
+from repro.sim.engine import Event
+from repro.util.timing import CHECKPOINT_FUNCTION, DATA_RECOVERY
+
+
+def buddy_rank(rank: int, size: int) -> int:
+    """The buddy-pair partner: XOR pairing, with the odd rank out (when
+    ``size`` is odd) paired asymmetrically with rank 0."""
+    if size <= 1:
+        return rank
+    partner = rank ^ 1
+    if partner >= size:  # last rank of an odd-size communicator
+        return 0
+    return partner
+
+
+class IMRStore:
+    """World-level IMR memory, shared by all ranks of one Fenix system.
+
+    Keys are communicator-local ranks (stable under Fenix's in-place
+    repair), storage slots are world ranks (physical memory that dies with
+    its process).
+    """
+
+    def __init__(self, world: Any, keep_versions: int = 2) -> None:
+        self.world = world
+        self.keep_versions = keep_versions
+        #: world_rank -> {(member_id, version, owner_comm_rank): (data, nbytes)}
+        self._memory: Dict[int, Dict[Tuple, Tuple[Any, float]]] = {}
+        world.add_death_listener(self._on_death)
+
+    def _on_death(self, world_rank: int) -> None:
+        """Process death loses its in-memory copies."""
+        self._memory.pop(world_rank, None)
+
+    def _slot(self, world_rank: int) -> Dict[Tuple, Tuple[Any, float]]:
+        return self._memory.setdefault(world_rank, {})
+
+    # -- store ------------------------------------------------------------
+
+    def store(
+        self,
+        ctx: Any,
+        comm: CommHandle,
+        member_id: int,
+        view: View,
+        version: int,
+    ) -> Generator[Event, Any, None]:
+        """Fenix_Data_member_store: snapshot ``view`` locally and at the
+        buddy (synchronous; cost scales with the view's modelled size)."""
+        engine = ctx.engine
+        t0 = engine.now
+        data = view.copy_data()
+        nbytes = view.modeled_nbytes
+        key = (member_id, int(version), comm.rank)
+        # local copy (memory-copy cost)
+        yield engine.timeout(ctx.node.memcpy_time(nbytes))
+        self._slot(ctx.rank)[key] = (data, nbytes)
+        # buddy copy (network transfer, paid synchronously by the caller)
+        partner = buddy_rank(comm.rank, comm.size)
+        if partner != comm.rank:
+            buddy_world = comm.comm.world_rank(partner)
+            buddy_node = self.world.node_of_rank(buddy_world)
+            yield from self.world.network.transfer(ctx.node, buddy_node, nbytes)
+            self._slot(buddy_world)[key] = (np.copy(data), nbytes)
+            self._gc(buddy_world, member_id, comm.rank, version)
+        self._gc(ctx.rank, member_id, comm.rank, version)
+        self.world.trace.emit(
+            engine.now, f"imr.rank{comm.rank}", "imr_store",
+            member=member_id, version=int(version), nbytes=nbytes,
+        )
+        ctx.account.charge(CHECKPOINT_FUNCTION, engine.now - t0)
+
+    def _gc(self, world_rank: int, member_id: int, owner: int, latest: int) -> None:
+        cutoff = int(latest) - self.keep_versions + 1
+        slot = self._slot(world_rank)
+        stale = [
+            k for k in slot if k[0] == member_id and k[2] == owner and k[1] < cutoff
+        ]
+        for k in stale:
+            del slot[k]
+
+    # -- queries -------------------------------------------------------------
+
+    def available_versions(
+        self, ctx: Any, comm: CommHandle, member_id: int
+    ) -> Set[int]:
+        """Versions of ``member_id`` restorable by this rank (local memory
+        or the buddy's, if the buddy process is alive)."""
+        found: Set[int] = set()
+        own = self._memory.get(ctx.rank, {})
+        for (mid, version, owner) in own:
+            if mid == member_id and owner == comm.rank and isinstance(version, int):
+                found.add(version)
+        partner = buddy_rank(comm.rank, comm.size)
+        if partner != comm.rank:
+            buddy_world = comm.comm.world_rank(partner)
+            if self.world.is_alive(buddy_world):
+                for (mid, version, owner) in self._memory.get(buddy_world, {}):
+                    if (
+                        mid == member_id
+                        and owner == comm.rank
+                        and isinstance(version, int)
+                    ):
+                        found.add(version)
+        return found
+
+    def rank_versions(self, ctx: Any, comm: CommHandle) -> Set[int]:
+        """Versions fully restorable by this rank across *all* members it
+        has ever stored (used to rebuild metadata after a repair, when the
+        replacement process has no view registrations yet)."""
+        per_member: Dict[int, Set[int]] = {}
+        sources = [self._memory.get(ctx.rank, {})]
+        partner = buddy_rank(comm.rank, comm.size)
+        if partner != comm.rank:
+            buddy_world = comm.comm.world_rank(partner)
+            if self.world.is_alive(buddy_world):
+                sources.append(self._memory.get(buddy_world, {}))
+        for mem in sources:
+            for (member_id, version, owner) in mem:
+                if owner == comm.rank and isinstance(version, int):
+                    per_member.setdefault(member_id, set()).add(version)
+        if not per_member:
+            return set()
+        common = None
+        for versions in per_member.values():
+            common = versions if common is None else (common & versions)
+        return common or set()
+
+    # -- restore --------------------------------------------------------------
+
+    def restore(
+        self,
+        ctx: Any,
+        comm: CommHandle,
+        member_id: int,
+        view: View,
+        version: int,
+    ) -> Generator[Event, Any, str]:
+        """Fenix_Data_member_restore: local memcpy if this process holds a
+        copy, otherwise fetch from the buddy.  Returns the tier used."""
+        engine = ctx.engine
+        t0 = engine.now
+        key = (member_id, int(version), comm.rank)
+        own = self._memory.get(ctx.rank, {})
+        if key in own:
+            data, nbytes = own[key]
+            yield engine.timeout(ctx.node.memcpy_time(nbytes))
+            tier = "local"
+        else:
+            partner = buddy_rank(comm.rank, comm.size)
+            buddy_world = comm.comm.world_rank(partner)
+            buddy_mem = self._memory.get(buddy_world, {})
+            if partner == comm.rank or key not in buddy_mem:
+                raise FenixError(
+                    f"IMR: no copy of member {member_id} v{version} "
+                    f"for rank {comm.rank}"
+                )
+            data, nbytes = buddy_mem[key]
+            buddy_node = self.world.node_of_rank(buddy_world)
+            yield from self.world.network.transfer(buddy_node, ctx.node, nbytes)
+            # re-establish the local copy for future failures
+            self._slot(ctx.rank)[key] = (np.copy(data), nbytes)
+            tier = "buddy"
+        view.load_data(data)
+        self.world.trace.emit(
+            engine.now, f"imr.rank{comm.rank}", "imr_restore",
+            member=member_id, version=int(version), tier=tier,
+        )
+        ctx.account.charge(DATA_RECOVERY, engine.now - t0)
+        return tier

@@ -1,0 +1,336 @@
+"""Fenix runtime: spare management, repair protocol, the run loop.
+
+One :class:`FenixSystem` exists per MPI world (per job).  Every world rank
+executes :meth:`FenixSystem.run`, which plays the part of the
+``Fenix_Init`` call in Figure 2 of the paper:
+
+- ranks below ``world.n_ranks - n_spares`` become *active* members of the
+  resilient communicator and run the application main;
+- the rest are *spares* that block inside run() until a failure consumes
+  them or the job completes.
+
+On failure, survivors long-jump back into run(), spares wake on the world
+failure event, and everyone rendezvouses at the **repair gate**.  The
+repair builds a same-size communicator with spares substituted in-place
+for the dead (keeping rank ids stable for checkpoint keys), assigns roles,
+invokes registered callbacks, and re-enters the application main.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from repro.fenix.errors import FenixLongJump, SpareExhaustionError
+from repro.fenix.handle import FenixCommHandle
+from repro.fenix.roles import Role
+from repro.mpi.comm import Communicator
+from repro.mpi.world import RankContext, World
+from repro.sim.engine import Event
+from repro.util.errors import ConfigError
+from repro.util.timing import RESILIENCE_INIT
+
+#: repair-gate policies when spares run out
+POLICY_SHRINK = "shrink"
+POLICY_ABORT = "abort"
+
+
+@dataclass
+class RepairResult:
+    """Outcome of one repair generation, delivered to every alive rank."""
+
+    generation: int
+    comm: Optional[Communicator]
+    #: world_rank -> Role for ranks active in the new communicator
+    roles: Dict[int, "Any"]
+    aborted: bool = False
+
+
+class WorldGate:
+    """Failure-aware rendezvous over a dynamic set of world ranks.
+
+    Like :class:`repro.mpi.comm.CollectiveGate` but world-scoped: Fenix's
+    repair must gather survivors *and* spares, which no single
+    communicator contains.  ``expected`` returns the set of ranks whose
+    arrival is required; it is re-evaluated on every arrival and on every
+    rank death, so the gate cannot hang on a corpse.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        name: str,
+        finalize: Callable[[Dict[int, Any]], Any],
+        expected: Callable[[], "set[int]"],
+    ):
+        self.world = world
+        self.name = name
+        self._finalize = finalize
+        self._expected = expected
+        self._contributions: Dict[int, Any] = {}
+        self._waiters: Dict[int, Event] = {}
+        world.add_death_listener(lambda _rank: self.recheck())
+
+    def arrive(self, world_rank: int, value: Any = None) -> Event:
+        ev = self.world.engine.event(name=f"{self.name}:{world_rank}")
+        self._contributions[world_rank] = value
+        self._waiters[world_rank] = ev
+        self.recheck()
+        return ev
+
+    def recheck(self) -> None:
+        if not self._waiters:
+            return
+        expected = self._expected()
+        if expected and not expected.issubset(self._contributions.keys()):
+            return
+        result = self._finalize(dict(self._contributions))
+        waiters, self._waiters = self._waiters, {}
+        self._contributions = {}
+        for ev in waiters.values():
+            if not ev.triggered:
+                ev.succeed(result)
+
+
+class FenixSystem:
+    """Shared Fenix state for one world."""
+
+    def __init__(
+        self,
+        world: World,
+        n_spares: int,
+        spare_policy: str = POLICY_SHRINK,
+        init_cost: float = 1e-4,
+        n_active: Optional[int] = None,
+    ) -> None:
+        if n_spares < 0 or n_spares >= world.n_ranks:
+            raise ConfigError(
+                f"n_spares={n_spares} invalid for a {world.n_ranks}-rank world"
+            )
+        if spare_policy not in (POLICY_SHRINK, POLICY_ABORT):
+            raise ConfigError(f"unknown spare policy {spare_policy!r}")
+        self.world = world
+        self.n_spares = n_spares
+        self.spare_policy = spare_policy
+        #: modelled cost of Fenix_Init (communicator dup + handler setup)
+        self.init_cost = init_cost
+        if n_active is None:
+            n_active = world.n_ranks - n_spares
+        if n_active < 1 or n_active + n_spares > world.n_ranks:
+            raise ConfigError(
+                f"n_active={n_active} + n_spares={n_spares} does not fit "
+                f"a {world.n_ranks}-rank world"
+            )
+        self.spare_pool: List[int] = list(range(n_active, n_active + n_spares))
+        #: world ranks participating in the protocol.  Ranks beyond the
+        #: initial active+spare set are *dynamic spares* (the future-work
+        #: "growing the total number of ranks dynamically"): they join the
+        #: pool when their process eventually enters run(), and repairs do
+        #: not wait for them before that.
+        self.registered: set = set(range(n_active + n_spares))
+        self.generation = 0
+        self.resilient_comm: Communicator = world.create_comm(
+            list(range(n_active)), name="fenix.resilient.g0"
+        )
+        #: ranks that have permanently left the protocol (finalized active
+        #: ranks, released spares) and must not be waited for at gates
+        self.retired: set = set()
+        self._repair_gate = WorldGate(
+            world,
+            "fenix.repair",
+            self._finalize_repair,
+            expected=lambda: (
+                set(world.alive_ranks()) & self.registered
+            ) - self.retired,
+        )
+        self._callbacks: List[Callable[[Any, RankContext], None]] = []
+        self.detections: List[Dict[str, Any]] = []
+        self._finalize_arrived: set = set()
+        self._finalize_waiters: Dict[int, Event] = {}
+        # a death during finalize must re-evaluate the completion set
+        world.add_death_listener(lambda _rank: self._recheck_finalize())
+
+    # -- public configuration ------------------------------------------------
+
+    def register_callback(self, fn: Callable[[Any, RankContext], None]) -> None:
+        """Register an application recovery callback, invoked on every rank
+        after each repair, before the application main is re-entered
+        (Fenix_Callback_register analogue)."""
+        self._callbacks.append(fn)
+
+    # -- error-handler hook ----------------------------------------------------
+
+    def note_detection(self, ctx: RankContext, exc: BaseException) -> None:
+        """Record that ``ctx`` detected a failure (diagnostics/tests)."""
+        self.detections.append(
+            {
+                "time": self.world.engine.now,
+                "rank": ctx.rank,
+                "error": type(exc).__name__,
+                "generation": self.generation,
+            }
+        )
+        self.world.trace.emit(
+            self.world.engine.now, "fenix", "detect", rank=ctx.rank,
+            error=type(exc).__name__,
+        )
+
+    # -- repair ------------------------------------------------------------------
+
+    def _finalize_repair(self, contributions: Dict[int, Any]) -> RepairResult:
+        """Build the repaired communicator (runs once per generation, when
+        every alive rank has reached the gate)."""
+        world = self.world
+        old = self.resilient_comm
+        if not old.revoked:
+            old.revoke()
+        new_members: List[int] = []
+        roles: Dict[int, Role] = {}
+        available = [s for s in self.spare_pool if world.is_alive(s)]
+        exhausted = False
+        for w in old.members:
+            if world.is_alive(w):
+                new_members.append(w)
+                roles[w] = Role.SURVIVOR
+            elif available:
+                replacement = available.pop(0)
+                self.spare_pool.remove(replacement)
+                new_members.append(replacement)
+                roles[replacement] = Role.RECOVERED
+            else:
+                exhausted = True  # slot dropped (shrink) or job aborts
+        self.generation += 1
+        if exhausted and self.spare_policy == POLICY_ABORT:
+            world.trace.emit(world.engine.now, "fenix", "abort",
+                             generation=self.generation)
+            return RepairResult(self.generation, None, {}, aborted=True)
+        comm = world.create_comm(
+            new_members, name=f"fenix.resilient.g{self.generation}"
+        )
+        self.resilient_comm = comm
+        world.trace.emit(
+            world.engine.now,
+            "fenix",
+            "repair",
+            generation=self.generation,
+            size=comm.size,
+            recovered=[w for w, r in roles.items() if r is Role.RECOVERED],
+        )
+        return RepairResult(self.generation, comm, roles)
+
+    # -- the run loop (Fenix_Init + long-jump target) ------------------------------
+
+    def run(
+        self,
+        ctx: RankContext,
+        main: Callable[..., Generator],
+    ) -> Generator[Event, Any, Any]:
+        """Execute ``main(role, handle)`` under Fenix protection.
+
+        This generator is the whole lifetime of one rank inside the Fenix
+        protocol: initialization, the application main, every recovery
+        re-entry, and finalization.  Returns ``main``'s return value for
+        active ranks, ``None`` for spares that were never consumed.
+        """
+        world = self.world
+        engine = world.engine
+        ctx.user["fenix_system"] = self
+        # Fenix_Init cost (duplicating communicators, installing handlers)
+        yield engine.timeout(self.init_cost)
+        ctx.account.charge(RESILIENCE_INIT, self.init_cost)
+
+        role: Optional[Role]
+        if self.resilient_comm.comm_rank(ctx.rank) is not None:
+            role = Role.INITIAL
+        else:
+            role = Role.SPARE
+            if ctx.rank not in self.spare_pool and ctx.rank not in self.registered:
+                # a dynamically added spare joins the pool on arrival
+                self.spare_pool.append(ctx.rank)
+        self.registered.add(ctx.rank)
+
+        while True:
+            if role is Role.SPARE:
+                # Block in Fenix_Init until a failure consumes us or the
+                # job completes (Figure 2's spare-rank behaviour).  A
+                # failure may already be pending -- e.g. a rank that died
+                # during job startup, before this spare began waiting --
+                # in which case we go straight to the repair rendezvous.
+                already_failed = any(
+                    not world.is_alive(w) for w in self.resilient_comm.members
+                )
+                if not already_failed:
+                    idx, _val = yield engine.any_of(
+                        [world.failure_watch(), self.world.job_done]
+                    )
+                    if idx == 1:
+                        self.retired.add(ctx.rank)
+                        return None  # job finished; spare exits cleanly
+                repair: RepairResult = yield self._repair_gate.arrive(ctx.rank)
+                if repair.aborted:
+                    raise SpareExhaustionError("job aborted: spares exhausted")
+                new_role = repair.roles.get(ctx.rank)
+                if new_role is None:
+                    continue  # still spare; wait for the next failure
+                role = new_role
+            # -- active rank: run the application main ----------------------
+            handle = FenixCommHandle(self.resilient_comm, ctx)
+            for cb in self._callbacks:
+                cb(role, ctx)
+            try:
+                result = yield from main(role, handle)
+            except FenixLongJump:
+                repair = yield self._repair_gate.arrive(ctx.rank)
+                if repair.aborted:
+                    raise SpareExhaustionError("job aborted: spares exhausted")
+                new_role = repair.roles.get(ctx.rank)
+                if new_role is None:  # shrunk away (cannot happen to survivors)
+                    return None
+                role = new_role
+                continue
+            # -- normal completion: Fenix_Finalize ---------------------------------
+            yield from self._finalize(ctx)
+            return result
+
+    def _finalize(self, ctx: RankContext) -> Generator[Event, Any, None]:
+        """Fenix_Finalize: rendezvous of the *active* members (spares are
+        not participants -- they are released via the job-done signal when
+        the last active rank arrives)."""
+        self._finalize_arrived.add(ctx.rank)
+        self.retired.add(ctx.rank)
+        if self._recheck_finalize():
+            return
+        ev = self.world.engine.event(name=f"fenix.finalize:{ctx.rank}")
+        self._finalize_waiters[ctx.rank] = ev
+        yield ev
+
+    def _recheck_finalize(self) -> bool:
+        """Complete the finalize rendezvous if every alive active member
+        has arrived (re-run on rank deaths so a mid-finalize failure
+        cannot hang the others)."""
+        if not self._finalize_arrived:
+            return False
+        active_alive = {
+            w for w in self.resilient_comm.members if self.world.is_alive(w)
+        }
+        if not active_alive.issubset(self._finalize_arrived):
+            return False
+        self.world.signal_job_done()
+        waiters, self._finalize_waiters = self._finalize_waiters, {}
+        for ev in waiters.values():
+            if not ev.triggered:
+                ev.succeed(None)
+        return True
+
+    def spawn_all(
+        self,
+        main: Callable[..., Generator],
+        failure_plan: Optional[Any] = None,
+    ) -> None:
+        """Convenience: spawn run(main) on every world rank."""
+        for r in range(self.world.n_ranks):
+            ctx = self.world.context(r)
+            self.world.spawn(
+                r, self.run(ctx, main), failure_plan=failure_plan,
+                name=f"fenix:rank{r}",
+            )

@@ -1,0 +1,96 @@
+"""Report formatting: the paper's stacked-bar categories as text tables,
+plus machine-readable JSON export for downstream plotting."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.harness.runner import RunReport
+
+#: display order of Figure 5's categories
+HEATDIS_CATEGORIES = [
+    "app_compute",
+    "app_mpi",
+    "resilience_init",
+    "checkpoint_function",
+    "data_recovery",
+    "recompute",
+    "other",
+]
+
+#: display order of Figure 6's categories
+MINIMD_CATEGORIES = [
+    "force_compute",
+    "neighboring",
+    "communicator",
+    "checkpoint_function",
+    "data_recovery",
+    "other",
+]
+
+
+def summarize_categories(
+    report: RunReport, categories: Optional[Sequence[str]] = None
+) -> Dict[str, float]:
+    """Collapse a report's buckets onto the requested display categories.
+
+    Buckets not named in ``categories`` are folded into ``other`` so the
+    summary always adds up to the wall time.
+    """
+    cats = list(categories) if categories is not None else HEATDIS_CATEGORIES
+    row = {c: report.category(c) for c in cats if c != "other"}
+    named = sum(row.values())
+    row["other"] = max(0.0, report.wall_time - named)
+    return row
+
+
+def report_to_dict(report: RunReport) -> Dict:
+    """A JSON-serializable summary of one run (results payload omitted)."""
+    return {
+        "strategy": report.strategy,
+        "app": report.app,
+        "n_ranks": report.n_ranks,
+        "wall_time": report.wall_time,
+        "attempts": report.attempts,
+        "failures": report.failures,
+        "buckets": dict(report.buckets),
+        "other": report.other,
+    }
+
+
+def reports_to_json(reports: Iterable[RunReport], indent: int = 2) -> str:
+    """Serialize reports for external plotting/analysis tools."""
+    return json.dumps([report_to_dict(r) for r in reports], indent=indent)
+
+
+def format_report_table(
+    reports: Iterable[RunReport],
+    categories: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render reports as an aligned text table (one row per report)."""
+    reports = list(reports)
+    if not reports:
+        return "(no data)"
+    cats = list(categories) if categories is not None else HEATDIS_CATEGORIES
+    header = ["strategy", "ranks"] + cats + ["wall"]
+    rows: List[List[str]] = []
+    for rep in reports:
+        summary = summarize_categories(rep, cats)
+        rows.append(
+            [rep.strategy, str(rep.n_ranks)]
+            + [f"{summary.get(c, 0.0):.3f}" for c in cats]
+            + [f"{rep.wall_time:.3f}"]
+        )
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) for i in range(len(header))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

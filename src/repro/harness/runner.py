@@ -1,0 +1,427 @@
+"""Job runner: executes one experiment configuration to completion.
+
+Reproduces the paper's measurement methodology (Section VI-C):
+
+- the reported time is the ``time mpirun`` equivalent: everything from job
+  launch to the last process exiting, *including* relaunches for
+  fail-restart strategies;
+- per-rank in-app times are accounted by category; "Other" is the
+  difference between the wall clock and the mean accounted time ("data
+  initialization, MPI job startup/teardown, and finalization time");
+- failures kill one rank ~95% of the way between two checkpoints; for
+  non-Fenix strategies the whole job is then torn down and relaunched on
+  the same cluster (PFS checkpoints survive; node-local scratch does not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Optional
+
+from repro.apps.heatdis import HeatdisConfig, make_heatdis_main
+from repro.apps.heatdis2d import Heatdis2DConfig, make_heatdis2d_main
+from repro.apps.heatdis_manual import make_manual_heatdis_main
+from repro.apps.minimd import MiniMDConfig, make_minimd_main
+from repro.core import KRConfig, every_nth, make_context, never
+from repro.fenix import FenixSystem, IMRStore
+from repro.fenix.roles import Role
+from repro.harness.recompute import RecomputeTracker
+from repro.harness.strategies import STRATEGIES, StrategySpec
+from repro.mpi import World
+from repro.mpi.errors import MPIError
+from repro.mpi.handle import CommHandle
+from repro.sim import Cluster, ClusterSpec, FailurePlan, NoFailures
+from repro.sim.failures import RankKilledError
+from repro.util.errors import ConfigError, ReproError
+from repro.veloc import VeloCService
+
+
+@dataclass(frozen=True)
+class JobCosts:
+    """Modelled fixed job costs (all land in the paper's "Other")."""
+
+    mpirun_launch: float = 2.0
+    per_node_launch: float = 0.02
+    mpi_init: float = 0.3
+    mpi_finalize: float = 0.1
+    #: post-failure cleanup before a relaunch can begin
+    teardown: float = 1.5
+    #: non-communicative application init (config files, allocation, ...)
+    app_noncomm_init: float = 0.2
+    #: communicative application init (re-done by recovered ranks)
+    app_comm_init: float = 0.3
+
+
+@dataclass(frozen=True)
+class ExperimentEnv:
+    """Everything fixed across one experiment sweep."""
+
+    cluster_spec: ClusterSpec
+    costs: JobCosts = field(default_factory=JobCosts)
+    n_spares: int = 1
+    ranks_per_node: int = 1
+    #: stage VeloC flushes through the burst buffer (requires a cluster
+    #: spec with one)
+    use_burst_buffer: bool = False
+
+
+@dataclass
+class RunReport:
+    """Outcome of one job execution."""
+
+    strategy: str
+    app: str
+    n_ranks: int
+    wall_time: float
+    attempts: int
+    failures: int
+    #: mean per-rank accounted seconds by bucket
+    buckets: Dict[str, float]
+    #: application results of the final (successful) attempt
+    results: Dict[int, Any]
+    #: platform counters (messages, bytes over NICs / PFS / burst buffer)
+    platform: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def accounted(self) -> float:
+        return sum(self.buckets.values())
+
+    @property
+    def other(self) -> float:
+        """Job time not visible inside the application (the paper's
+        "Other": startup, teardown, finalization, repair waits)."""
+        return max(0.0, self.wall_time - self.accounted)
+
+    def category(self, name: str) -> float:
+        return self.buckets.get(name, 0.0)
+
+    def as_row(self) -> Dict[str, float]:
+        row = dict(self.buckets)
+        row["other"] = self.other
+        row["wall_time"] = self.wall_time
+        return row
+
+
+def _all_settled(engine, procs) -> "Any":
+    """Event that fires when every process has finished (ok or failed)."""
+    ev = engine.event(name="all_settled")
+    remaining = len(procs)
+    if remaining == 0:
+        ev.succeed(None)
+        return ev
+
+    def on_exit(_inner_ev):
+        nonlocal remaining
+        remaining -= 1
+        if remaining == 0 and not ev.triggered:
+            ev.succeed(None)
+
+    for proc in procs:
+        proc.add_callback(on_exit)
+    return ev
+
+
+class JobRunner:
+    """Drives one job (with relaunches) on a fresh cluster."""
+
+    def __init__(
+        self,
+        env: ExperimentEnv,
+        strategy: StrategySpec,
+        n_ranks: int,
+        plan: FailurePlan,
+        build_main: Callable[..., Callable],
+        app_name: str,
+    ) -> None:
+        self.env = env
+        self.strategy = strategy
+        self.n_ranks = n_ranks
+        self.plan = plan
+        self.build_main = build_main
+        self.app_name = app_name
+        self.n_spares = env.n_spares if strategy.fenix else 0
+        n_total = n_ranks + self.n_spares
+        needed_nodes = -(-n_total // env.ranks_per_node)
+        if env.cluster_spec.n_nodes < needed_nodes:
+            raise ConfigError(
+                f"cluster has {env.cluster_spec.n_nodes} nodes; "
+                f"{needed_nodes} needed"
+            )
+        self.n_total = n_total
+        self.cluster = Cluster(env.cluster_spec)
+        self.service = VeloCService(
+            self.cluster, use_burst_buffer=env.use_burst_buffer
+        )
+        self.tracker = RecomputeTracker()
+        self.totals: Dict[str, float] = {}
+        self.results: Dict[int, Any] = {}
+        self.attempts = 0
+        self.finish_time: Optional[float] = None
+
+    # -- public ------------------------------------------------------------
+
+    def run(self) -> RunReport:
+        engine = self.cluster.engine
+        engine.process(self._driver(), name="job_driver")
+        engine.run()
+        buckets = {k: v / self.n_ranks for k, v in self.totals.items()}
+        # wall time ends when the job completes; stray daemon timers
+        # (failure watchdogs armed far in the future) may drain later
+        wall = self.finish_time if self.finish_time is not None else engine.now
+        return RunReport(
+            strategy=self.strategy.name,
+            app=self.app_name,
+            n_ranks=self.n_ranks,
+            wall_time=wall,
+            attempts=self.attempts,
+            failures=self.plan.expected_failures(),
+            buckets=buckets,
+            results=dict(self.results),
+            platform=self._platform_counters(),
+        )
+
+    def _platform_counters(self) -> Dict[str, float]:
+        cluster = self.cluster
+        counters = {
+            "network_messages": float(cluster.network.messages_sent),
+            "network_bytes": cluster.network.bytes_sent,
+            "pfs_bytes_written": cluster.pfs.bytes_written,
+            "pfs_bytes_read": cluster.pfs.bytes_read,
+        }
+        if cluster.burst_buffer is not None:
+            counters["bb_bytes_written"] = cluster.burst_buffer.bytes_written
+            counters["bb_bytes_read"] = cluster.burst_buffer.bytes_read
+        return counters
+
+    # -- internals -----------------------------------------------------------
+
+    def _launch_cost(self) -> float:
+        costs = self.env.costs
+        return costs.mpirun_launch + self.cluster.n_nodes * costs.per_node_launch
+
+    def _driver(self) -> Generator:
+        engine = self.cluster.engine
+        costs = self.env.costs
+        yield engine.timeout(self._launch_cost())
+        while True:
+            self.attempts += 1
+            world = World(
+                self.cluster,
+                self.n_total,
+                ranks_per_node=self.env.ranks_per_node,
+                name=f"{self.app_name}.attempt{self.attempts}",
+            )
+            imr = IMRStore(world)
+            system = (
+                FenixSystem(world, n_spares=self.n_spares)
+                if self.strategy.fenix
+                else None
+            )
+            main = self.build_main(
+                runner=self,
+                world=world,
+                imr=imr,
+                plan=self.plan,
+                results=self.results,
+                tracker=self.tracker,
+            )
+            procs = []
+            for rank in range(self.n_total):
+                procs.append(
+                    world.spawn(
+                        rank,
+                        self._rank_wrapper(world, system, rank, main),
+                        failure_plan=self.plan,
+                    )
+                )
+            if system is None:
+                self._arm_abort(world)
+            yield _all_settled(engine, procs)
+            self._collect_accounts(world)
+            self._check_errors(world)
+            if system is not None:
+                # Fenix may have shrunk the job after exhausting spares;
+                # success is every member of the FINAL communicator done
+                success = len(self.results) >= system.resilient_comm.size
+            else:
+                success = len(self.results) >= self.n_ranks
+            if success:
+                self.finish_time = engine.now
+                break
+            if world.dead and system is None:
+                # fail-restart: teardown, wipe node-local state, relaunch
+                self.cluster.wipe_scratch()
+                yield engine.timeout(costs.teardown)
+                yield engine.timeout(self._launch_cost())
+                continue
+            raise ReproError(
+                f"job failed without recovery path: dead={sorted(world.dead)}"
+            )
+
+    def _rank_wrapper(
+        self, world: World, system: Optional[FenixSystem], rank: int, main
+    ) -> Generator:
+        costs = self.env.costs
+        ctx = world.context(rank)
+        # startup: MPI_Init + non-communicative app init (uncharged -> Other)
+        yield from ctx.sleep(costs.mpi_init + costs.app_noncomm_init)
+
+        def main_with_init(role, handle):
+            if role in (Role.INITIAL, Role.RECOVERED):
+                yield from handle.ctx.sleep(costs.app_comm_init)
+            result = yield from main(role, handle)
+            return result
+
+        if system is not None:
+            yield from system.run(ctx, main_with_init)
+        else:
+            handle = world.comm_world_handle(rank)
+            yield from main_with_init(Role.INITIAL, handle)
+        yield from ctx.sleep(costs.mpi_finalize)
+
+    def _arm_abort(self, world: World) -> None:
+        """Without Fenix, mpirun kills the whole job shortly after any
+        rank dies."""
+        engine = self.cluster.engine
+
+        def abort_watch():
+            yield world.failure_watch()
+            yield engine.timeout(0.05)
+            for proc in world.procs.values():
+                if proc.alive:
+                    proc.kill(RankKilledError(-1, "job aborted by launcher"))
+
+        engine.process(abort_watch(), name="mpirun_abort", daemon=True)
+
+    def _collect_accounts(self, world: World) -> None:
+        for ctx in world.contexts.values():
+            for bucket, value in ctx.account.buckets.items():
+                self.totals[bucket] = self.totals.get(bucket, 0.0) + value
+
+    def _check_errors(self, world: World) -> None:
+        """Post-failure MPI errors are expected; anything else is a bug."""
+        unexpected = [
+            (rank, exc)
+            for rank, exc in world.errors
+            if not isinstance(exc, (MPIError, RankKilledError))
+        ]
+        if unexpected:
+            rank, exc = unexpected[0]
+            raise exc
+
+
+# -- application-specific front doors ---------------------------------------------
+
+
+def _kr_factory(strategy: StrategySpec, cluster, service, imr, ckpt_interval):
+    """Build the make_kr callable for one attempt."""
+    if strategy.checkpointing:
+        config = KRConfig(
+            backend=strategy.backend,
+            filter=every_nth(ckpt_interval),
+            recovery_scope=strategy.scope,
+        )
+    else:
+        config = KRConfig(backend="stdfile", filter=never)
+
+    def make_kr(handle: CommHandle):
+        return make_context(
+            handle, config, cluster, veloc_service=service, imr_store=imr
+        )
+
+    return make_kr
+
+
+def run_heatdis_job(
+    env: ExperimentEnv,
+    strategy_name: str,
+    n_ranks: int,
+    cfg: HeatdisConfig,
+    ckpt_interval: int,
+    plan: Optional[FailurePlan] = None,
+) -> RunReport:
+    """Run one Heatdis job under a strategy; returns the report."""
+    strategy = STRATEGIES[strategy_name]
+    plan = plan if plan is not None else NoFailures()
+
+    def build_main(runner, world, imr, plan, results, tracker):
+        if strategy.kr or not strategy.checkpointing:
+            make_kr = _kr_factory(
+                strategy, runner.cluster, runner.service, imr, ckpt_interval
+            )
+            return make_heatdis_main(
+                cfg,
+                make_kr,
+                failure_plan=plan,
+                partial_rollback=(strategy.scope == "recovered_only"),
+                results=results,
+                tracker=tracker,
+            )
+        # manual integrations (VeloC alone / Fenix+VeloC without KR)
+        return make_manual_heatdis_main(
+            cfg,
+            runner.cluster,
+            runner.service,
+            ckpt_interval,
+            use_fenix=strategy.fenix,
+            failure_plan=plan,
+            results=results,
+            tracker=tracker,
+        )
+
+    runner = JobRunner(env, strategy, n_ranks, plan, build_main, "heatdis")
+    return runner.run()
+
+
+def run_heatdis2d_job(
+    env: ExperimentEnv,
+    strategy_name: str,
+    n_ranks: int,
+    cfg: Heatdis2DConfig,
+    ckpt_interval: int,
+    plan: Optional[FailurePlan] = None,
+) -> RunReport:
+    """Run one 2-D-decomposed Heatdis job under a strategy."""
+    strategy = STRATEGIES[strategy_name]
+    if strategy.checkpointing and not strategy.kr:
+        raise ConfigError(
+            "the 2-D Heatdis is only integrated through Kokkos Resilience"
+        )
+    plan = plan if plan is not None else NoFailures()
+
+    def build_main(runner, world, imr, plan, results, tracker):
+        make_kr = _kr_factory(
+            strategy, runner.cluster, runner.service, imr, ckpt_interval
+        )
+        return make_heatdis2d_main(
+            cfg, make_kr, failure_plan=plan, results=results, tracker=tracker
+        )
+
+    runner = JobRunner(env, strategy, n_ranks, plan, build_main, "heatdis2d")
+    return runner.run()
+
+
+def run_minimd_job(
+    env: ExperimentEnv,
+    strategy_name: str,
+    n_ranks: int,
+    cfg: MiniMDConfig,
+    ckpt_interval: int,
+    plan: Optional[FailurePlan] = None,
+) -> RunReport:
+    """Run one MiniMD job under a strategy; returns the report."""
+    strategy = STRATEGIES[strategy_name]
+    if strategy.checkpointing and not strategy.kr:
+        raise ConfigError("MiniMD is only integrated through Kokkos Resilience")
+    plan = plan if plan is not None else NoFailures()
+
+    def build_main(runner, world, imr, plan, results, tracker):
+        make_kr = _kr_factory(
+            strategy, runner.cluster, runner.service, imr, ckpt_interval
+        )
+        return make_minimd_main(
+            cfg, make_kr, failure_plan=plan, results=results, tracker=tracker
+        )
+
+    runner = JobRunner(env, strategy, n_ranks, plan, build_main, "minimd")
+    return runner.run()

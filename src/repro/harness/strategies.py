@@ -1,0 +1,89 @@
+"""The resilience configurations evaluated in the paper.
+
+Each :class:`StrategySpec` names one stacked-bar column of Figure 5 /
+Figure 6:
+
+================  =======  ====  ==========  =====================================
+name              process  c-f   data        paper label
+================  =======  ====  ==========  =====================================
+none              --       --    --          reference (no resilience)
+veloc             relaunch man.  VeloC       "VeloC alone"
+kr_veloc          relaunch KR    VeloC       "Kokkos Resilience" (without Fenix)
+fenix_veloc       Fenix    man.  VeloC       "Fenix with VeloC, no Kokkos Res."
+fenix_kr_veloc    Fenix    KR    VeloC       the paper's integrated system
+fenix_kr_imr      Fenix    KR    Fenix IMR   "IMR" buddy checkpointing
+fenix_kr_partial  Fenix    KR    VeloC       partial rollback (convergence app)
+================  =======  ====  ==========  =====================================
+
+"relaunch" means failures abort the job and the harness restarts it
+(classic fail-restart); "man." means hand-written checkpoint management
+(:mod:`repro.apps.heatdis_manual`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class StrategySpec:
+    """One resilience configuration."""
+
+    name: str
+    #: Fenix process recovery (False -> relaunch the job on failure)
+    fenix: bool
+    #: Kokkos Resilience manages C/R (False -> manual integration)
+    kr: bool
+    #: data backend: "veloc", "fenix_imr", or "none"
+    backend: str
+    #: KR recovery scope ("all" or "recovered_only")
+    scope: str = "all"
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("veloc", "fenix_imr", "none"):
+            raise ConfigError(f"unknown backend {self.backend!r}")
+        if self.backend == "fenix_imr" and not self.fenix:
+            raise ConfigError("IMR requires Fenix (it lives in rank memory)")
+        if not self.kr and self.backend == "fenix_imr":
+            raise ConfigError("manual IMR integration is not implemented")
+
+    @property
+    def checkpointing(self) -> bool:
+        return self.backend != "none"
+
+    @property
+    def label(self) -> str:
+        return {
+            "none": "No resilience",
+            "veloc": "VeloC",
+            "kr_veloc": "Kokkos Resilience",
+            "fenix_veloc": "Fenix + VeloC",
+            "fenix_kr_veloc": "Fenix + KR + VeloC",
+            "fenix_kr_imr": "Fenix IMR",
+            "fenix_kr_partial": "Partial rollback",
+        }.get(self.name, self.name)
+
+
+STRATEGIES = {
+    "none": StrategySpec("none", fenix=False, kr=False, backend="none"),
+    "veloc": StrategySpec("veloc", fenix=False, kr=False, backend="veloc"),
+    "kr_veloc": StrategySpec("kr_veloc", fenix=False, kr=True, backend="veloc"),
+    "fenix_veloc": StrategySpec(
+        "fenix_veloc", fenix=True, kr=False, backend="veloc"
+    ),
+    "fenix_kr_veloc": StrategySpec(
+        "fenix_kr_veloc", fenix=True, kr=True, backend="veloc"
+    ),
+    "fenix_kr_imr": StrategySpec(
+        "fenix_kr_imr", fenix=True, kr=True, backend="fenix_imr"
+    ),
+    "fenix_kr_partial": StrategySpec(
+        "fenix_kr_partial",
+        fenix=True,
+        kr=True,
+        backend="veloc",
+        scope="recovered_only",
+    ),
+}

@@ -1,0 +1,50 @@
+"""Kokkos analogue: labelled views, parallel dispatch, view registry.
+
+The paper's control-flow layer (Kokkos Resilience) leans on three Kokkos
+properties, all reproduced here:
+
+1. **Views** -- labelled, reference-counted array handles
+   (:class:`View`); labels and buffer identity are what let Kokkos
+   Resilience find, deduplicate and alias-exclude checkpoint data
+   (Figure 7's Checkpointed / Alias / Skipped census).
+2. **Pattern-based parallelism** -- ``parallel_for`` / ``parallel_reduce``
+   over range policies; our Heatdis port uses these exactly where the
+   paper's Kokkos port does.
+3. **A per-process runtime** -- :class:`KokkosRuntime` holds the view
+   registry; in the simulator each MPI rank owns one (matching one
+   process = one Kokkos runtime on the real system).
+"""
+
+from repro.kokkos.space import (
+    DefaultExecutionSpace,
+    DeviceSpace,
+    ExecutionSpace,
+    HostSpace,
+)
+from repro.kokkos.view import View, deep_copy
+from repro.kokkos.registry import ViewCensus, ViewRegistry
+from repro.kokkos.parallel import (
+    MDRangePolicy,
+    RangePolicy,
+    parallel_for,
+    parallel_reduce,
+    parallel_scan,
+)
+from repro.kokkos.runtime import KokkosRuntime
+
+__all__ = [
+    "ExecutionSpace",
+    "HostSpace",
+    "DeviceSpace",
+    "DefaultExecutionSpace",
+    "View",
+    "deep_copy",
+    "ViewCensus",
+    "ViewRegistry",
+    "RangePolicy",
+    "MDRangePolicy",
+    "parallel_for",
+    "parallel_reduce",
+    "parallel_scan",
+    "KokkosRuntime",
+]

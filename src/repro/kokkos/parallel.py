@@ -1,0 +1,128 @@
+"""Parallel dispatch patterns: parallel_for / parallel_reduce / parallel_scan.
+
+Execution is synchronous on the host (see :mod:`repro.kokkos.space`); the
+value of reproducing the dispatch API is that applications are written
+against Kokkos idioms -- the same property that lets Kokkos Resilience
+wrap whole iteration bodies without understanding them.
+
+Functors receive indices exactly as in Kokkos: ``parallel_for(n, f)``
+calls ``f(i)``; an :class:`MDRangePolicy` calls ``f(i, j, ...)``;
+``parallel_reduce`` additionally folds a value with an optional joiner.
+
+Performance note (per the repo's numpy guidance): per-index functors are
+for small index spaces and tests.  Hot kernels in :mod:`repro.apps` use
+vectorized numpy on the views directly, which is the Python analogue of a
+fused Kokkos kernel.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, Optional, Tuple, Union
+
+from repro.util.errors import ConfigError
+
+
+class RangePolicy:
+    """1-D iteration range [begin, end)."""
+
+    def __init__(self, begin: int, end: Optional[int] = None) -> None:
+        if end is None:
+            begin, end = 0, begin
+        if end < begin:
+            raise ConfigError(f"empty-or-negative range [{begin}, {end})")
+        self.begin = int(begin)
+        self.end = int(end)
+
+    def indices(self) -> Iterable[int]:
+        return range(self.begin, self.end)
+
+    def __len__(self) -> int:
+        return self.end - self.begin
+
+
+class MDRangePolicy:
+    """Multi-dimensional iteration range (row-major order)."""
+
+    def __init__(self, *ranges: Tuple[int, int]) -> None:
+        if not ranges:
+            raise ConfigError("MDRangePolicy needs at least one dimension")
+        self.ranges = [(int(b), int(e)) for b, e in ranges]
+        for b, e in self.ranges:
+            if e < b:
+                raise ConfigError(f"bad dimension range [{b}, {e})")
+
+    def indices(self) -> Iterable[Tuple[int, ...]]:
+        return itertools.product(*(range(b, e) for b, e in self.ranges))
+
+    def __len__(self) -> int:
+        n = 1
+        for b, e in self.ranges:
+            n *= e - b
+        return n
+
+
+Policy = Union[int, RangePolicy, MDRangePolicy]
+
+
+def _as_policy(policy: Policy) -> Union[RangePolicy, MDRangePolicy]:
+    if isinstance(policy, (RangePolicy, MDRangePolicy)):
+        return policy
+    return RangePolicy(int(policy))
+
+
+def parallel_for(policy: Policy, functor: Callable, label: str = "") -> None:
+    """Execute ``functor`` over every index of ``policy``."""
+    pol = _as_policy(policy)
+    if isinstance(pol, MDRangePolicy):
+        for idx in pol.indices():
+            functor(*idx)
+    else:
+        for i in pol.indices():
+            functor(i)
+
+
+def parallel_reduce(
+    policy: Policy,
+    functor: Callable,
+    init: Any = 0.0,
+    joiner: Optional[Callable[[Any, Any], Any]] = None,
+    label: str = "",
+) -> Any:
+    """Fold ``functor(i)`` contributions over the policy's index space.
+
+    ``functor`` returns its contribution for each index (the Pythonic
+    rendering of Kokkos's update-reference convention); ``joiner`` defaults
+    to addition.
+    """
+    pol = _as_policy(policy)
+    join = joiner if joiner is not None else (lambda a, b: a + b)
+    acc = init
+    if isinstance(pol, MDRangePolicy):
+        for idx in pol.indices():
+            acc = join(acc, functor(*idx))
+    else:
+        for i in pol.indices():
+            acc = join(acc, functor(i))
+    return acc
+
+
+def parallel_scan(
+    policy: Policy,
+    functor: Callable[[int, Any, bool], Any],
+    init: Any = 0.0,
+    label: str = "",
+) -> Any:
+    """Inclusive scan following Kokkos's two-phase functor convention:
+    ``functor(i, partial, is_final)`` returns the contribution at ``i`` and
+    observes the exclusive prefix in ``partial`` when ``is_final``.
+
+    Returns the total.
+    """
+    pol = _as_policy(policy)
+    if isinstance(pol, MDRangePolicy):
+        raise ConfigError("parallel_scan supports 1-D policies only")
+    acc = init
+    for i in pol.indices():
+        acc = acc + functor(i, acc, True)
+    return acc

@@ -1,0 +1,64 @@
+"""Per-rank Kokkos runtime: view factory + registry + execution space.
+
+One real process has one Kokkos runtime; in the simulator one *rank* has
+one :class:`KokkosRuntime`, typically stashed on its
+:class:`repro.mpi.world.RankContext` by the application bootstrap.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.kokkos.registry import ViewRegistry
+from repro.kokkos.space import DefaultExecutionSpace, ExecutionSpace
+from repro.kokkos.view import View
+
+
+class KokkosRuntime:
+    """Factory/owner for one rank's views."""
+
+    def __init__(self, space: Optional[ExecutionSpace] = None) -> None:
+        self.space = space if space is not None else DefaultExecutionSpace()
+        self.registry = ViewRegistry()
+        self._finalized = False
+
+    def view(
+        self,
+        label: str,
+        shape: Optional[Union[int, Tuple[int, ...]]] = None,
+        dtype: Any = np.float64,
+        data: Optional[np.ndarray] = None,
+        modeled_nbytes: Optional[float] = None,
+        space: Optional[str] = None,
+    ) -> View:
+        """Create a registered view (``Kokkos::View`` analogue).
+
+        ``space`` defaults to the runtime's execution space's memory
+        space, like Kokkos' default memory space.
+        """
+        return View(
+            label,
+            shape=shape,
+            dtype=dtype,
+            data=data,
+            registry=self.registry,
+            modeled_nbytes=modeled_nbytes,
+            space=space if space is not None else self.space.memory_space,
+        )
+
+    def declare_alias(self, alias_label: str, of_label: str) -> None:
+        self.registry.declare_alias(alias_label, of_label)
+
+    def fence(self) -> None:
+        self.space.fence()
+
+    def finalize(self) -> None:
+        """Kokkos::finalize analogue: drop all views."""
+        self.registry.clear()
+        self._finalized = True
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized

@@ -1,0 +1,51 @@
+"""Execution and memory spaces.
+
+Real Kokkos dispatches to host or device backends.  The paper leaves
+heterogeneous resilience largely unexplored ("The heterogeneous support
+from Kokkos Resilience is not explored in this work") but its Figure 3
+reserves the "Heterogenous Device Data Management" box and its future work
+calls for it, so the space abstraction here is real: views carry a memory
+space, and the control-flow layer stages device-resident views through the
+host (charging the node's device-link bandwidth) around checkpoints and
+restores.
+
+Execution itself remains synchronous on the host -- the *data movement*
+is what matters for checkpoint cost.
+"""
+
+from __future__ import annotations
+
+
+#: memory-space identifiers carried by views
+HOST = "host"
+DEVICE = "device"
+
+
+class ExecutionSpace:
+    """Base execution space: executes functors immediately on the host."""
+
+    name = "Unknown"
+    memory_space = HOST
+
+    def fence(self) -> None:
+        """Kokkos fence: a no-op for synchronous host execution, kept so
+        calling code matches the real API."""
+
+
+class HostSpace(ExecutionSpace):
+    """Serial host execution (the space the paper's evaluation uses)."""
+
+    name = "Host"
+    memory_space = HOST
+
+
+class DeviceSpace(ExecutionSpace):
+    """A device (GPU-like) space: views default to device memory and
+    checkpoints must stage their data across the device link."""
+
+    name = "Device"
+    memory_space = DEVICE
+
+
+#: the space used when none is specified
+DefaultExecutionSpace = HostSpace

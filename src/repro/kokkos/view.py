@@ -1,0 +1,164 @@
+"""Labelled array views.
+
+A :class:`View` wraps a numpy array with a label and registry membership.
+Two properties matter to the resilience layers:
+
+- **buffer identity** (:meth:`View.buffer_id`): views created as slices or
+  shallow copies of another view share the underlying buffer; Kokkos
+  Resilience uses this to skip double-checkpointing (Figure 7's "Skipped"
+  class);
+- **modelled size** (:attr:`View.modeled_nbytes`): experiments model
+  paper-scale data (e.g. 1 GB/node) over laptop-scale real arrays; the
+  modelled size drives every checkpoint/transfer cost while the real array
+  keeps numerical correctness.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+
+
+class View:
+    """A labelled, registry-tracked ndarray wrapper."""
+
+    def __init__(
+        self,
+        label: str,
+        shape: Optional[Union[int, Tuple[int, ...]]] = None,
+        dtype: Any = np.float64,
+        data: Optional[np.ndarray] = None,
+        registry: Optional["Any"] = None,
+        modeled_nbytes: Optional[float] = None,
+        space: str = "host",
+    ) -> None:
+        if not label:
+            raise ConfigError("views must be labelled")
+        if (shape is None) == (data is None):
+            raise ConfigError("View needs exactly one of shape= or data=")
+        if space not in ("host", "device"):
+            raise ConfigError(f"unknown memory space {space!r}")
+        self.label = label
+        if data is not None:
+            arr = np.asarray(data)
+        else:
+            arr = np.zeros(shape, dtype=dtype)
+        self.data: np.ndarray = arr
+        self._modeled_nbytes = modeled_nbytes
+        #: memory space ("host" or "device"); device views are staged
+        #: through the host by the resilience layer around C/R operations
+        self.space = space
+        self.registry = registry
+        if registry is not None:
+            registry.register(self)
+
+    @property
+    def on_device(self) -> bool:
+        return self.space == "device"
+
+    # -- identity / sizing -------------------------------------------------
+
+    def buffer_id(self) -> int:
+        """Identity of the underlying memory buffer.
+
+        Views sharing storage (subviews, shallow copies) report the same
+        id, which is how duplicate captures are detected.
+        """
+        base = self.data
+        while base.base is not None:
+            base = base.base
+        return id(base)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def nbytes(self) -> float:
+        """Actual bytes held."""
+        return float(self.data.nbytes)
+
+    @property
+    def modeled_nbytes(self) -> float:
+        """Bytes this view *represents* in the experiment's cost model."""
+        if self._modeled_nbytes is not None:
+            return float(self._modeled_nbytes)
+        return float(self.data.nbytes)
+
+    @modeled_nbytes.setter
+    def modeled_nbytes(self, value: Optional[float]) -> None:
+        self._modeled_nbytes = value
+
+    # -- subviews ------------------------------------------------------------
+
+    def subview(self, index: Any, label: Optional[str] = None) -> "View":
+        """A view on a slice of this view's buffer (shares storage)."""
+        sliced = self.data[index]
+        if not isinstance(sliced, np.ndarray):
+            sliced = np.asarray(sliced)
+        return View(
+            label or f"{self.label}[sub]",
+            data=sliced,
+            registry=self.registry,
+            space=self.space,
+        )
+
+    # -- array protocol -----------------------------------------------------------
+
+    def __array__(self, dtype=None, copy=None):
+        if dtype is not None:
+            return self.data.astype(dtype, copy=bool(copy))
+        if copy:
+            return self.data.copy()
+        return self.data
+
+    def __getitem__(self, index):
+        return self.data[index]
+
+    def __setitem__(self, index, value):
+        self.data[index] = value
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def fill(self, value) -> None:
+        self.data.fill(value)
+
+    def copy_data(self) -> np.ndarray:
+        """A snapshot of the contents (used by checkpoint serialization)."""
+        return self.data.copy()
+
+    def load_data(self, array: np.ndarray) -> None:
+        """Restore contents in place (shape/dtype must match)."""
+        src = np.asarray(array)
+        if src.shape != self.data.shape:
+            raise ConfigError(
+                f"view {self.label!r}: restore shape {src.shape} != {self.data.shape}"
+            )
+        np.copyto(self.data, src)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<View {self.label!r} shape={self.shape} dtype={self.dtype}>"
+
+
+def deep_copy(dst: "View | np.ndarray", src: "View | np.ndarray | float") -> None:
+    """Kokkos deep_copy: copy contents between views/arrays or broadcast a
+    scalar into a view."""
+    dst_arr = dst.data if isinstance(dst, View) else dst
+    if isinstance(src, View):
+        np.copyto(dst_arr, src.data)
+    elif isinstance(src, np.ndarray):
+        np.copyto(dst_arr, src)
+    else:
+        dst_arr.fill(src)

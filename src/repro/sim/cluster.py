@@ -1,0 +1,78 @@
+"""Cluster assembly: engine + nodes + interconnect + parallel filesystem.
+
+A :class:`Cluster` is the simulated stand-in for the paper's platform
+(Section VI-B: 100-node Cray XC40, 32-core Haswell nodes, Lustre).  One
+cluster can host several consecutive *jobs* (the relaunch-based resilience
+strategies tear a job down and start another on the same cluster, with the
+PFS contents surviving).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.sim.engine import Engine
+from repro.sim.filesystem import ParallelFileSystem, PFSSpec
+from repro.sim.network import Network, NetworkSpec
+from repro.sim.node import Node, NodeSpec
+from repro.sim.trace import Trace
+from repro.util.errors import ConfigError
+from repro.util.rng import SeedSequenceFactory
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Full platform description.
+
+    ``burst_buffer`` optionally adds an intermediate shared storage tier
+    (NVMe burst buffer): many fast I/O servers close to the compute nodes,
+    drained to the parallel filesystem in the background -- the storage
+    hierarchy VeloC's multi-level checkpointing targets.
+    """
+
+    n_nodes: int = 4
+    node: NodeSpec = field(default_factory=NodeSpec)
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    pfs: PFSSpec = field(default_factory=PFSSpec)
+    burst_buffer: Optional[PFSSpec] = None
+    seed: int = 20220906  # paper submission date, for flavour
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ConfigError("cluster needs at least one node")
+
+
+class Cluster:
+    """A live cluster bound to a fresh engine."""
+
+    def __init__(self, spec: ClusterSpec, trace: Optional[Trace] = None) -> None:
+        self.spec = spec
+        self.engine = Engine()
+        self.trace = trace if trace is not None else Trace(enabled=False)
+        self.rng_factory = SeedSequenceFactory(spec.seed)
+        self.nodes: List[Node] = [
+            Node(self.engine, index=i, spec=spec.node) for i in range(spec.n_nodes)
+        ]
+        self.network = Network(self.engine, self.nodes, spec.network)
+        self.pfs = ParallelFileSystem(self.engine, self.network, spec.pfs)
+        #: optional intermediate tier (same contention model, its own
+        #: servers); ``None`` when the platform has no burst buffer
+        self.burst_buffer: Optional[ParallelFileSystem] = (
+            ParallelFileSystem(self.engine, self.network, spec.burst_buffer)
+            if spec.burst_buffer is not None
+            else None
+        )
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def node(self, index: int) -> Node:
+        return self.nodes[index]
+
+    def wipe_scratch(self) -> None:
+        """Clear every node's local scratch (job teardown loses node-local
+        state; PFS contents survive)."""
+        for node in self.nodes:
+            node.wipe()

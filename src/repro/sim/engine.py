@@ -1,0 +1,421 @@
+"""Deterministic discrete-event engine.
+
+The engine runs *processes* -- plain Python generators -- against a
+simulated clock.  A process blocks by yielding an :class:`Event` (or an
+object convertible to one, such as :class:`Timeout` or another
+:class:`Process`); the engine resumes it when the event triggers, sending
+the event's value into the generator (or throwing the event's exception).
+
+Determinism guarantees:
+
+- Events scheduled for the same simulated time fire in schedule order
+  (a monotonically increasing sequence number breaks ties).
+- No wall-clock access anywhere; all randomness flows through seeded
+  :class:`numpy.random.Generator` streams owned by components.
+
+This is deliberately SimPy-like in shape but self-contained (the execution
+environment provides no simulation library) and adds the hooks the MPI/ULFM
+layer needs: process kill with a typed exception, unhandled-failure
+tracking, and deadlock detection that names the blocked processes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.util.errors import DeadlockError, SimulationError
+
+_UNSET = object()
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.kill` or an event failure."""
+
+
+class ProcessKilled(Interrupt):
+    """A process was killed externally (e.g. simulated rank death)."""
+
+
+class Event:
+    """One-shot event: triggers exactly once, with a value or an exception.
+
+    Callbacks registered via :meth:`add_callback` run (in registration
+    order) when the engine *processes* the trigger, at the simulated time
+    the trigger was scheduled for.
+    """
+
+    __slots__ = (
+        "engine",
+        "_value",
+        "_exc",
+        "_callbacks",
+        "_scheduled",
+        "_processed",
+        "name",
+    )
+
+    def __init__(self, engine: "Engine", name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self._value: Any = _UNSET
+        self._exc: Optional[BaseException] = None
+        self._callbacks: list[Callable[["Event"], None]] = []
+        self._scheduled = False
+        self._processed = False
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once succeed()/fail() has been called."""
+        return self._scheduled
+
+    @property
+    def processed(self) -> bool:
+        """True once the engine has dispatched the trigger (i.e. the
+        event's simulated completion time has been reached)."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded. Only meaningful once triggered."""
+        return self._scheduled and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self._scheduled:
+            raise SimulationError(f"event {self.name!r} not yet triggered")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exc
+
+    # -- triggering ----------------------------------------------------
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger successfully after ``delay`` simulated seconds."""
+        self._trigger(value, None, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger with an exception after ``delay`` simulated seconds."""
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() requires an exception, got {exc!r}")
+        self._trigger(_UNSET, exc, delay)
+        return self
+
+    def _trigger(self, value: Any, exc: Optional[BaseException], delay: float) -> None:
+        if self._scheduled:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._scheduled = True
+        self._value = value
+        self._exc = exc
+        self.engine._schedule(delay, self)
+
+    # -- subscription ----------------------------------------------------
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register ``fn`` to run when the event is processed.
+
+        Subscribing to an event that was already processed schedules an
+        immediate (zero-delay) dispatch of just this callback, so late
+        subscribers never hang.
+        """
+        if self._processed:
+            relay = Event(self.engine, name=f"late:{self.name}")
+            relay.add_callback(lambda _ev: fn(self))
+            relay.succeed(None)
+            return
+        self._callbacks.append(fn)
+
+    def remove_callback(self, fn: Callable[["Event"], None]) -> None:
+        try:
+            self._callbacks.remove(fn)
+        except ValueError:
+            pass
+
+    def _dispatch(self) -> None:
+        self._processed = True
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending"
+        if self._scheduled:
+            state = "ok" if self._exc is None else f"failed({self._exc!r})"
+        return f"<Event {self.name!r} {state}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` seconds after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        super().__init__(engine, name=f"timeout({delay:g})")
+        self.succeed(value, delay=delay)
+
+
+class AllOf(Event):
+    """Triggers when every child event has triggered successfully.
+
+    Fails with the first child failure (remaining children are ignored).
+    Value is the list of child values in input order.
+    """
+
+    __slots__ = ("_children", "_pending")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]) -> None:
+        super().__init__(engine, name="all_of")
+        self._children = list(events)
+        self._pending = len(self._children)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for ev in self._children:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.exception)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([c._value for c in self._children])
+
+
+class AnyOf(Event):
+    """Triggers with (index, value) of the first child to trigger.
+
+    A child failure fails the combinator if it arrives first.
+    """
+
+    __slots__ = ("_children",)
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]) -> None:
+        super().__init__(engine, name="any_of")
+        self._children = list(events)
+        if not self._children:
+            raise SimulationError("AnyOf requires at least one event")
+        for idx, ev in enumerate(self._children):
+            ev.add_callback(self._make_cb(idx))
+
+    def _make_cb(self, idx: int) -> Callable[[Event], None]:
+        def cb(ev: Event) -> None:
+            if self.triggered:
+                return
+            if ev.ok:
+                self.succeed((idx, ev._value))
+            else:
+                self.fail(ev.exception)
+
+        return cb
+
+
+class Process(Event):
+    """A running generator coroutine.  Doubles as its own completion event.
+
+    The generator may ``yield`` any :class:`Event`; the process resumes when
+    that event triggers.  Returning completes the process successfully with
+    the return value; an uncaught exception completes it as failed.
+    """
+
+    __slots__ = ("_gen", "_target", "_resume_cb", "daemon")
+
+    def __init__(
+        self,
+        engine: "Engine",
+        gen: Generator[Event, Any, Any],
+        name: str = "",
+        daemon: bool = False,
+    ) -> None:
+        super().__init__(engine, name=name or getattr(gen, "__name__", "process"))
+        if not hasattr(gen, "send"):
+            raise TypeError(f"process body must be a generator, got {type(gen)!r}")
+        self._gen = gen
+        self._target: Optional[Event] = None
+        self._resume_cb = self._resume
+        #: daemon processes may be left blocked at the end of a run without
+        #: tripping deadlock detection (e.g. VeloC servers idle-waiting).
+        self.daemon = daemon
+        engine._alive.add(self)
+        # Kick off at the current time, after already-queued events.
+        start = Event(engine, name=f"start:{self.name}")
+        start.add_callback(self._resume_cb)
+        start.succeed(None)
+
+    @property
+    def alive(self) -> bool:
+        return not self.triggered
+
+    def kill(self, exc: Optional[BaseException] = None) -> None:
+        """Terminate the process by throwing ``exc`` into its generator.
+
+        If the process is blocked, it is detached from its target event and
+        resumed immediately (at the current simulated time).  Killing a
+        finished process is a no-op.
+        """
+        if self.triggered:
+            return
+        exc = exc if exc is not None else ProcessKilled(f"{self.name} killed")
+        if self._target is not None:
+            self._target.remove_callback(self._resume_cb)
+            self._target = None
+        wake = Event(self.engine, name=f"kill:{self.name}")
+        wake.add_callback(self._resume_cb)
+        wake.fail(exc)
+
+    # -- internal -------------------------------------------------------
+
+    def _resume(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        self._target = None
+        try:
+            if ev._exc is not None:
+                nxt = self._gen.throw(ev._exc)
+            else:
+                nxt = self._gen.send(ev._value)
+        except StopIteration as stop:
+            self._finish(stop.value, None)
+            return
+        except BaseException as exc:  # noqa: BLE001 - process death is data here
+            self._finish(_UNSET, exc)
+            return
+        if not isinstance(nxt, Event):
+            self._gen.close()
+            self._finish(
+                _UNSET,
+                SimulationError(
+                    f"process {self.name!r} yielded non-event {nxt!r}"
+                ),
+            )
+            return
+        if nxt.engine is not self.engine:
+            self._gen.close()
+            self._finish(
+                _UNSET, SimulationError("yielded event belongs to another engine")
+            )
+            return
+        self._target = nxt
+        nxt.add_callback(self._resume_cb)
+
+    def _finish(self, value: Any, exc: Optional[BaseException]) -> None:
+        self.engine._alive.discard(self)
+        if exc is None:
+            self.succeed(value)
+        else:
+            # A failure is "handled" when someone is observing the process
+            # (a joiner or a watcher callback, e.g. the MPI world's rank
+            # monitor).  Only orphaned failures abort the run.
+            if not self._callbacks:
+                self.engine._note_failure(self, exc)
+            self.fail(exc)
+
+
+class Engine:
+    """The event loop: owns the simulated clock and the pending-event heap."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._alive: set[Process] = set()
+        self._failures: list[tuple[Process, BaseException]] = []
+
+    # -- construction helpers -------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(
+        self,
+        gen: Generator[Event, Any, Any],
+        name: str = "",
+        daemon: bool = False,
+    ) -> Process:
+        return Process(self, gen, name=name, daemon=daemon)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule(self, delay: float, event: Event) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def _note_failure(self, proc: Process, exc: BaseException) -> None:
+        self._failures.append((proc, exc))
+
+    def consume_failure(self, proc: Process) -> Optional[BaseException]:
+        """Mark ``proc``'s failure as handled (e.g. an expected rank death).
+
+        Returns the exception if one was recorded, else None.
+        """
+        for i, (p, exc) in enumerate(self._failures):
+            if p is proc:
+                del self._failures[i]
+                return exc
+        return None
+
+    @property
+    def unhandled_failures(self) -> list[tuple[Process, BaseException]]:
+        return list(self._failures)
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, check_deadlock: bool = True) -> float:
+        """Run until the heap drains (or simulated time passes ``until``).
+
+        Returns the final simulated time.  Raises:
+
+        - the first *unhandled* process failure, if any process died with an
+          exception nobody consumed;
+        - :class:`DeadlockError` when non-daemon processes remain blocked
+          with nothing left to wake them.
+        """
+        while self._heap:
+            when, _, event = self._heap[0]
+            if until is not None and when > until:
+                self.now = until
+                break
+            heapq.heappop(self._heap)
+            self.now = when
+            event._dispatch()
+        if self._failures:
+            proc, exc = self._failures[0]
+            raise SimulationError(
+                f"process {proc.name!r} died with unhandled {type(exc).__name__}: {exc}"
+            ) from exc
+        if check_deadlock and until is None:
+            blocked = [p for p in self._alive if not p.daemon]
+            if blocked:
+                details = ", ".join(
+                    sorted(
+                        f"{p.name} (waiting on "
+                        f"{p._target.name if p._target is not None else '?'})"
+                        for p in blocked
+                    )
+                )
+                raise DeadlockError(
+                    f"simulation deadlock: processes still blocked: {details}"
+                )
+        return self.now

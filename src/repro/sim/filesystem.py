@@ -1,0 +1,181 @@
+"""Lustre-like parallel filesystem model.
+
+The paper's Figure 5 discussion hinges on one structural fact: *many*
+compute nodes write checkpoints through a *small* number of filesystem
+management/storage nodes, so disk-based checkpointing bottlenecks on the
+PFS while IMR spreads traffic over every NIC.  This model captures exactly
+that: ``n_servers`` I/O servers, each a serializing
+:class:`~repro.sim.resources.BandwidthPipe`; object writes are striped to a
+server chosen round-robin and also traverse the writing node's NIC.
+
+The data plane is real: payloads (numpy arrays / bytes) are stored in an
+in-memory object dictionary and survive simulated job relaunches, exactly
+like files on Lustre survive an ``mpirun`` restart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Optional
+
+from repro.sim.engine import Engine, Event
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.resources import BandwidthPipe
+from repro.util.errors import ConfigError, SimulationError
+from repro.util.units import GiB, MiB
+
+
+@dataclass(frozen=True)
+class PFSSpec:
+    """Parallel filesystem parameters.
+
+    Defaults give an aggregate ~8 GB/s over 4 I/O servers -- small relative
+    to 64 nodes x 10 GB/s of NIC bandwidth, reproducing the paper's
+    "much smaller number of filesystem management nodes" bottleneck.
+    """
+
+    n_servers: int = 4
+    server_bandwidth: float = 2.0 * GiB
+    server_latency: float = 50.0e-6
+    #: chunk size for striping/interleaving writes.
+    chunk_bytes: float = 8.0 * MiB
+
+    def __post_init__(self) -> None:
+        if self.n_servers < 1:
+            raise ConfigError("PFS needs at least one I/O server")
+        if self.server_bandwidth <= 0:
+            raise ConfigError("PFS server bandwidth must be positive")
+        if self.chunk_bytes <= 0:
+            raise ConfigError("PFS chunk size must be positive")
+
+    @property
+    def aggregate_bandwidth(self) -> float:
+        return self.n_servers * self.server_bandwidth
+
+
+class ParallelFileSystem:
+    """The shared, persistent object store + its contention model."""
+
+    def __init__(self, engine: Engine, network: Network, spec: PFSSpec) -> None:
+        self.engine = engine
+        self.network = network
+        self.spec = spec
+        self.servers = [
+            BandwidthPipe(
+                engine,
+                bandwidth=spec.server_bandwidth,
+                latency=spec.server_latency,
+                name=f"pfs.ost{i}",
+            )
+            for i in range(spec.n_servers)
+        ]
+        self._objects: Dict[Any, Any] = {}
+        self._sizes: Dict[Any, float] = {}
+        self._rr = 0
+        self.bytes_written = 0.0
+        self.bytes_read = 0.0
+
+    # -- data plane ------------------------------------------------------
+
+    def exists(self, key: Any) -> bool:
+        return key in self._objects
+
+    def peek(self, key: Any) -> Any:
+        """Zero-cost metadata read of a stored object (tests/diagnostics)."""
+        return self._objects[key]
+
+    def keys(self) -> list:
+        return list(self._objects.keys())
+
+    def delete(self, key: Any) -> None:
+        self._objects.pop(key, None)
+        self._sizes.pop(key, None)
+
+    def wipe(self) -> None:
+        self._objects.clear()
+        self._sizes.clear()
+
+    # -- timed operations --------------------------------------------------
+
+    def _pick_server(self) -> BandwidthPipe:
+        server = self.servers[self._rr % len(self.servers)]
+        self._rr += 1
+        return server
+
+    def write(
+        self,
+        key: Any,
+        payload: Any,
+        nbytes: float,
+        src_node: Node,
+    ) -> Generator[Event, Any, None]:
+        """Write ``payload`` under ``key``, charging ``nbytes`` of traffic.
+
+        The write is chunked; each chunk holds the source NIC TX and one
+        I/O server pipe, so concurrent writers from many nodes queue on the
+        few servers (the Lustre bottleneck) while the writer's own NIC is
+        also made busy (congesting that node's application messages).
+        """
+        if nbytes < 0:
+            raise SimulationError(f"negative write size: {nbytes}")
+        remaining = float(nbytes)
+        while True:
+            piece = min(remaining, self.spec.chunk_bytes)
+            server = self._pick_server()
+            yield src_node.tx.request_lock()
+            try:
+                yield server.request_lock()
+                try:
+                    hold = server.latency + piece / min(
+                        server.bandwidth, src_node.tx.bandwidth
+                    )
+                    server.busy_time += hold
+                    server.bytes_moved += piece
+                    src_node.tx.busy_time += hold
+                    src_node.tx.bytes_moved += piece
+                    yield self.engine.timeout(hold)
+                finally:
+                    server.release_lock()
+            finally:
+                src_node.tx.release_lock()
+            remaining -= piece
+            if remaining <= 0:
+                break
+        self.bytes_written += float(nbytes)
+        self._objects[key] = payload
+        self._sizes[key] = float(nbytes)
+
+    def read(
+        self,
+        key: Any,
+        dst_node: Node,
+        nbytes: Optional[float] = None,
+    ) -> Generator[Event, Any, Any]:
+        """Read the object under ``key`` into ``dst_node``; returns payload."""
+        if key not in self._objects:
+            raise KeyError(key)
+        size = float(nbytes) if nbytes is not None else self._sizes.get(key, 0.0)
+        remaining = size
+        while remaining > 0:
+            piece = min(remaining, self.spec.chunk_bytes)
+            server = self._pick_server()
+            yield dst_node.rx.request_lock()
+            try:
+                yield server.request_lock()
+                try:
+                    hold = server.latency + piece / min(
+                        server.bandwidth, dst_node.rx.bandwidth
+                    )
+                    server.busy_time += hold
+                    server.bytes_moved += piece
+                    dst_node.rx.busy_time += hold
+                    dst_node.rx.bytes_moved += piece
+                    yield self.engine.timeout(hold)
+                finally:
+                    server.release_lock()
+            finally:
+                dst_node.rx.release_lock()
+            remaining -= piece
+        self.bytes_read += size
+        return self._objects[key]

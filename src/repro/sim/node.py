@@ -1,0 +1,107 @@
+"""Compute-node model.
+
+Each node owns a duplex NIC (two :class:`BandwidthPipe` halves), a compute
+throughput figure used by cost models, a memory-bandwidth figure for local
+copies (VeloC's synchronous scratch checkpoint is exactly one of these), and
+a node-local scratch object store (the "filesystem folder mapped to local
+memory" of Section VI-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator
+
+from repro.sim.engine import Engine, Event
+from repro.sim.resources import BandwidthPipe
+from repro.util.errors import ConfigError
+from repro.util.units import GiB
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of one node (defaults approximate the paper's
+    2-socket Haswell Cray XC40 nodes)."""
+
+    #: sustained compute throughput, in application-units/second; cost
+    #: models divide work units by this.
+    flops: float = 500.0e9
+    #: NIC bandwidth per direction, bytes/second (Cray Aries ~ 10 GB/s).
+    nic_bandwidth: float = 10.0 * GiB
+    #: per-message NIC/link latency, seconds.
+    nic_latency: float = 1.5e-6
+    #: local memory copy bandwidth, bytes/second.
+    memory_bandwidth: float = 50.0 * GiB
+    #: device (accelerator) link bandwidth, bytes/second (PCIe class);
+    #: checkpoints of device-resident views stage across this link.
+    device_bandwidth: float = 12.0 * GiB
+    #: number of cores (informational; ranks-per-node scheduling).
+    cores: int = 32
+    #: fractional compute slowdown while the co-located checkpoint server
+    #: is actively flushing (memory-bandwidth steal); Section VI-D1's
+    #: "overhead of asynchronous checkpointing that presents in the force
+    #: computing section".
+    flush_compute_steal: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.flops <= 0 or self.nic_bandwidth <= 0 or self.memory_bandwidth <= 0:
+            raise ConfigError("node rates must be positive")
+        if self.cores < 1:
+            raise ConfigError("node must have at least one core")
+
+
+@dataclass
+class Node:
+    """A live node instance inside an engine."""
+
+    engine: Engine
+    index: int
+    spec: NodeSpec
+    tx: BandwidthPipe = field(init=False)
+    rx: BandwidthPipe = field(init=False)
+    #: node-local scratch object store: key -> payload (real bytes/arrays).
+    scratch: Dict[Any, Any] = field(default_factory=dict)
+    #: number of background flushes currently running on this node
+    active_flushes: int = 0
+
+    def __post_init__(self) -> None:
+        self.tx = BandwidthPipe(
+            self.engine,
+            bandwidth=self.spec.nic_bandwidth,
+            latency=self.spec.nic_latency,
+            name=f"node{self.index}.tx",
+        )
+        self.rx = BandwidthPipe(
+            self.engine,
+            bandwidth=self.spec.nic_bandwidth,
+            latency=self.spec.nic_latency,
+            name=f"node{self.index}.rx",
+        )
+
+    @property
+    def name(self) -> str:
+        return f"node{self.index}"
+
+    def memcpy_time(self, nbytes: float) -> float:
+        """Time for a local memory copy of ``nbytes``."""
+        return float(nbytes) / self.spec.memory_bandwidth
+
+    def memcpy(self, nbytes: float) -> Generator[Event, Any, None]:
+        """Charge a local memory copy (used by scratch checkpoints)."""
+        yield self.engine.timeout(self.memcpy_time(nbytes))
+
+    def device_copy_time(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` across the device link (one direction)."""
+        return float(nbytes) / self.spec.device_bandwidth
+
+    def compute_time(self, work_units: float) -> float:
+        """Time to execute ``work_units`` of compute on this node."""
+        return float(work_units) / self.spec.flops
+
+    def compute(self, work_units: float) -> Generator[Event, Any, None]:
+        """Charge ``work_units`` of compute."""
+        yield self.engine.timeout(self.compute_time(work_units))
+
+    def wipe(self) -> None:
+        """Clear node-local scratch (models node loss / job teardown)."""
+        self.scratch.clear()

@@ -1,0 +1,76 @@
+"""Structured event tracing.
+
+Components append :class:`TraceRecord` rows (simulated time, source,
+kind, free-form fields); experiments and tests query them to assert
+protocol-level facts ("the VeloC server flushed after the checkpoint call
+returned", "revoke reached every rank") without coupling to internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    time: float
+    source: str
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+
+class Trace:
+    """Append-only trace with simple query helpers."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: List[TraceRecord] = []
+
+    def emit(self, time: float, source: str, kind: str, **fields: Any) -> None:
+        if self.enabled:
+            self._records.append(TraceRecord(time, source, kind, fields))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def records(
+        self,
+        kind: Optional[str] = None,
+        source: Optional[str] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> List[TraceRecord]:
+        out = []
+        for rec in self._records:
+            if kind is not None and rec.kind != kind:
+                continue
+            if source is not None and rec.source != source:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def first(self, kind: str) -> Optional[TraceRecord]:
+        for rec in self._records:
+            if rec.kind == kind:
+                return rec
+        return None
+
+    def last(self, kind: str) -> Optional[TraceRecord]:
+        for rec in reversed(self._records):
+            if rec.kind == kind:
+                return rec
+        return None
+
+    def count(self, kind: str) -> int:
+        return sum(1 for rec in self._records if rec.kind == kind)
+
+    def clear(self) -> None:
+        self._records.clear()

@@ -1,0 +1,31 @@
+"""Shared utilities: error hierarchy, unit parsing, deterministic RNG."""
+
+from repro.util.errors import (
+    ReproError,
+    ConfigError,
+    SimulationError,
+    DeadlockError,
+)
+from repro.util.units import (
+    KiB,
+    MiB,
+    GiB,
+    parse_size,
+    format_size,
+    format_time,
+)
+from repro.util.rng import SeedSequenceFactory
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "DeadlockError",
+    "KiB",
+    "MiB",
+    "GiB",
+    "parse_size",
+    "format_size",
+    "format_time",
+    "SeedSequenceFactory",
+]

@@ -1,0 +1,29 @@
+"""Error hierarchy shared across the repro packages.
+
+Every package defines its own domain errors (e.g. :class:`repro.mpi.ProcFailedError`)
+but all of them derive from :class:`ReproError` so callers can catch the
+library's failures without swallowing genuine Python bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid internal state."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still blocked.
+
+    Raised by :meth:`repro.sim.Engine.run` when live processes remain but no
+    event can ever wake them -- the simulation equivalent of an MPI deadlock.
+    The message lists the blocked processes to aid debugging.
+    """

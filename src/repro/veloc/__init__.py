@@ -1,0 +1,28 @@
+"""VeloC analogue: multi-tier asynchronous checkpoint/restart.
+
+Reproduces the architecture the paper measures (Section III, VI-C):
+
+- the **synchronous** phase of a checkpoint is a copy of the protected
+  regions into node-local scratch ("a filesystem folder mapped to local
+  memory ... just a memory copy of the application's data");
+- a **co-located server** per node then flushes scratch to the parallel
+  filesystem *asynchronously*, contending with application traffic on the
+  node's NIC and with other nodes on the PFS I/O servers -- the source of
+  the "App MPI" overhead in Figure 5;
+- restart queries resolve the best available version, preferring local
+  scratch (survivors restore locally; only failed ranks pull from the
+  PFS -- Section VI-D2).
+
+Two initialization modes match the paper's Section V discussion:
+``collective`` (VeloC coordinates over its communicator to find the best
+*globally complete* version) and ``single`` (non-collective; the caller --
+in the paper, the modified Kokkos Resilience -- performs the reduction
+itself).  Only ``single`` mode composes with Fenix process recovery, which
+is exactly the integration change the paper had to make.
+"""
+
+from repro.veloc.config import VeloCConfig
+from repro.veloc.client import VeloCClient
+from repro.veloc.server import VeloCServer, VeloCService
+
+__all__ = ["VeloCConfig", "VeloCClient", "VeloCServer", "VeloCService"]

@@ -1,0 +1,244 @@
+"""VeloC client API (per rank).
+
+Mirrors the VeloC memory-registration interface: ``mem_protect`` regions,
+``checkpoint`` versions, query restartable versions, ``recover``.  The
+synchronous checkpoint path costs one local memory copy; persistence is
+delegated to the node's :class:`~repro.veloc.server.VeloCServer`.
+
+Fenix-integration hooks (the paper's Section V modifications):
+
+- ``single`` (non-collective) mode: :meth:`restart_test` consults only
+  local tiers and the caller reduces across ranks itself;
+- :meth:`set_comm` / :meth:`set_rank`: replace the communicator and cached
+  rank id after a communicator repair or shrink.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.kokkos.view import View
+from repro.mpi.handle import CommHandle
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Event
+from repro.util.errors import ConfigError, ReproError
+from repro.util.timing import CHECKPOINT_FUNCTION, DATA_RECOVERY
+from repro.veloc.config import VeloCConfig
+from repro.veloc.server import VeloCService
+
+
+class VeloCError(ReproError):
+    """Checkpoint/restart failure (missing version, bad region, ...)."""
+
+
+class VeloCClient:
+    """One rank's connection to the checkpoint system."""
+
+    def __init__(
+        self,
+        ctx: Any,
+        cluster: Cluster,
+        service: VeloCService,
+        config: VeloCConfig,
+        comm: Optional[CommHandle] = None,
+    ) -> None:
+        if config.collective and comm is None:
+            raise ConfigError("collective-mode VeloC requires a communicator")
+        self.ctx = ctx
+        self.cluster = cluster
+        self.service = service
+        self.config = config
+        self.comm = comm
+        #: the rank id used in checkpoint keys.  Under Fenix's in-place
+        #: repair a replacement process adopts the failed rank's id and
+        #: thereby finds its predecessor's checkpoints.
+        self.veloc_rank = comm.rank if comm is not None else ctx.rank
+        self._protected: Dict[int, View] = {}
+        self._flushes: Dict[int, Event] = {}
+
+    # -- integration hooks ----------------------------------------------------
+
+    def set_comm(self, comm: CommHandle) -> None:
+        """Replace the communicator (after repair); refreshes the rank id."""
+        self.comm = comm
+        self.veloc_rank = comm.rank
+
+    def set_rank(self, rank: int) -> None:
+        """Directly update the cached rank id (shrunk-continuation case)."""
+        self.veloc_rank = rank
+
+    # -- region registration -----------------------------------------------------
+
+    def mem_protect(self, region_id: int, view: View) -> None:
+        """Register a memory region for checkpointing."""
+        if region_id in self._protected and self._protected[region_id] is not view:
+            raise ConfigError(f"region id {region_id} already protects another view")
+        self._protected[region_id] = view
+
+    def mem_unprotect(self, region_id: int) -> None:
+        self._protected.pop(region_id, None)
+
+    def clear_protected(self) -> None:
+        self._protected.clear()
+
+    @property
+    def protected_regions(self) -> Dict[int, View]:
+        return dict(self._protected)
+
+    def protected_nbytes(self) -> float:
+        return sum(v.modeled_nbytes for v in self._protected.values())
+
+    # -- keys -----------------------------------------------------------------------
+
+    def _key(self, version: int) -> Tuple:
+        return ("veloc", self.config.ckpt_name, int(version), self.veloc_rank)
+
+    # -- checkpoint -------------------------------------------------------------------
+
+    def checkpoint(self, version: int) -> Generator[Event, Any, None]:
+        """Write version ``version`` of all protected regions.
+
+        Synchronous cost: one memory copy of the modelled bytes into
+        node-local scratch.  The PFS flush is queued on the node server and
+        proceeds in the background.
+        """
+        if not self._protected:
+            raise VeloCError("checkpoint with no protected regions")
+        engine = self.ctx.engine
+        t0 = engine.now
+        total = self.protected_nbytes()
+        snapshot = {rid: view.copy_data() for rid, view in self._protected.items()}
+        yield engine.timeout(self.ctx.node.memcpy_time(total))
+        key = self._key(version)
+        self.ctx.node.scratch[key] = (snapshot, total)
+        self._gc_scratch(version)
+        if self.config.flush_to_pfs:
+            server = self.service.server_for(self.ctx.node)
+            self._flushes[int(version)] = server.submit(key, (snapshot, total), total)
+        self.cluster.trace.emit(
+            engine.now,
+            f"veloc.rank{self.veloc_rank}",
+            "checkpoint",
+            version=int(version),
+            nbytes=total,
+        )
+        self.ctx.account.charge(CHECKPOINT_FUNCTION, engine.now - t0)
+
+    def _gc_scratch(self, latest_version: int) -> None:
+        """Retain only the newest ``keep_versions`` scratch copies."""
+        cutoff = int(latest_version) - self.config.keep_versions + 1
+        stale = [
+            key
+            for key in self.ctx.node.scratch
+            if isinstance(key, tuple)
+            and len(key) == 4
+            and key[0] == "veloc"
+            and key[1] == self.config.ckpt_name
+            and key[3] == self.veloc_rank
+            and key[2] < cutoff
+        ]
+        for key in stale:
+            del self.ctx.node.scratch[key]
+
+    def flush_pending(self) -> List[int]:
+        """Versions whose PFS flush has not completed yet."""
+        return sorted(v for v, ev in self._flushes.items() if not ev.processed)
+
+    def wait_flushes(self) -> Generator[Event, Any, None]:
+        """Block until every queued flush has persisted."""
+        pending = [ev for ev in self._flushes.values() if not ev.processed]
+        if pending:
+            yield self.ctx.engine.all_of(pending)
+
+    # -- version queries --------------------------------------------------------------
+
+    def local_versions(self) -> Set[int]:
+        """Versions restorable by this rank without help: scratch + PFS."""
+        found: Set[int] = set()
+        key_sources = [self.ctx.node.scratch.keys(), self.cluster.pfs.keys()]
+        if self.cluster.burst_buffer is not None:
+            key_sources.append(self.cluster.burst_buffer.keys())
+        for keys in key_sources:
+            for key in keys:
+                if (
+                    isinstance(key, tuple)
+                    and len(key) == 4
+                    and key[0] == "veloc"
+                    and key[1] == self.config.ckpt_name
+                    and key[3] == self.veloc_rank
+                ):
+                    found.add(int(key[2]))
+        return found
+
+    def restart_test(self) -> "int | Generator[Event, Any, int]":
+        """Latest restorable version, or -1.
+
+        In ``single`` mode this is a plain local call (the caller reduces).
+        In ``collective`` mode it is a generator performing the global
+        intersection over the communicator -- the stock VeloC behaviour
+        that breaks under communicator repair.
+        """
+        if not self.config.collective:
+            local = self.local_versions()
+            return max(local) if local else -1
+        return self._restart_test_collective()
+
+    def _restart_test_collective(self) -> Generator[Event, Any, int]:
+        local = sorted(self.local_versions())
+        all_sets = yield from self.comm.allgather(local)
+        common = set(all_sets[0])
+        for s in all_sets[1:]:
+            common &= set(s)
+        return max(common) if common else -1
+
+    # -- recovery -----------------------------------------------------------------------
+
+    def can_recover_locally(self, version: int) -> bool:
+        return self._key(version) in self.ctx.node.scratch
+
+    def recover(self, version: int) -> Generator[Event, Any, None]:
+        """Restore all protected regions from ``version``.
+
+        Survivors restore from node-local scratch (a memory copy);
+        replacement ranks pull from the PFS (network + I/O-server cost),
+        reproducing the paper's asymmetric recovery costs.
+        """
+        engine = self.ctx.engine
+        t0 = engine.now
+        key = self._key(version)
+        bb = self.cluster.burst_buffer
+        if key in self.ctx.node.scratch:
+            snapshot, total = self.ctx.node.scratch[key]
+            yield engine.timeout(self.ctx.node.memcpy_time(total))
+            source = "scratch"
+        elif bb is not None and bb.exists(key):
+            snapshot, total = yield from bb.read(key, self.ctx.node)
+            self.ctx.node.scratch[key] = (snapshot, total)
+            source = "bb"
+        elif self.cluster.pfs.exists(key):
+            snapshot, total = yield from self.cluster.pfs.read(key, self.ctx.node)
+            # refill scratch so subsequent failures restore locally
+            self.ctx.node.scratch[key] = (snapshot, total)
+            source = "pfs"
+        else:
+            raise VeloCError(
+                f"rank {self.veloc_rank}: no checkpoint version {version}"
+            )
+        for rid, array in snapshot.items():
+            view = self._protected.get(rid)
+            if view is None:
+                raise VeloCError(
+                    f"rank {self.veloc_rank}: region {rid} in checkpoint "
+                    "but not protected"
+                )
+            view.load_data(array)
+        self.cluster.trace.emit(
+            engine.now,
+            f"veloc.rank{self.veloc_rank}",
+            "recover",
+            version=int(version),
+            tier=source,
+        )
+        self.ctx.account.charge(DATA_RECOVERY, engine.now - t0)

@@ -1,0 +1,157 @@
+"""Per-node VeloC server: asynchronous scratch-to-PFS flushing.
+
+One daemon process per node drains a FIFO of flush jobs.  Each job moves
+the checkpoint's *modelled* bytes through the node NIC and the PFS I/O
+servers in chunks (so application messages interleave between chunks
+rather than stalling behind a full checkpoint), then records the version
+as persisted.  This is the mechanism behind the paper's observation that
+VeloC's checkpoint-function cost is tiny while the real cost surfaces as
+network congestion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Event
+from repro.sim.node import Node
+from repro.sim.resources import Store
+
+
+@dataclass
+class FlushJob:
+    """One checkpoint version to persist for one rank."""
+
+    key: Tuple
+    payload: Any
+    nbytes: float
+    done: Event
+
+
+class VeloCServer:
+    """The co-located checkpoint server for one node.
+
+    With ``use_burst_buffer`` (and a cluster that has one), the flush is
+    two-stage: scratch -> burst buffer (fast, clears the node quickly),
+    then a background drain moves the object burst buffer -> PFS without
+    touching the node again.  The ``done`` event fires at burst-buffer
+    residency -- the point where the data survives the node's loss.
+    """
+
+    def __init__(
+        self, cluster: Cluster, node: Node, use_burst_buffer: bool = False
+    ) -> None:
+        self.cluster = cluster
+        self.node = node
+        self.engine = cluster.engine
+        self.use_burst_buffer = (
+            use_burst_buffer and cluster.burst_buffer is not None
+        )
+        self.queue: Store = Store(self.engine, name=f"veloc.srv{node.index}.q")
+        self.jobs_done = 0
+        self.bytes_flushed = 0.0
+        self._proc = self.engine.process(
+            self._run(), name=f"veloc.server{node.index}", daemon=True
+        )
+
+    def submit(self, key: Tuple, payload: Any, nbytes: float) -> Event:
+        """Queue a flush; returns an event that succeeds when persisted."""
+        done = self.engine.event(name=f"flush:{key}")
+        self.queue.put(FlushJob(key=key, payload=payload, nbytes=nbytes, done=done))
+        return done
+
+    @property
+    def backlog(self) -> int:
+        return len(self.queue)
+
+    def _run(self):
+        pfs = self.cluster.pfs
+        bb = self.cluster.burst_buffer
+        while True:
+            job = yield from self.queue.get()
+            target = bb if self.use_burst_buffer else pfs
+            self.node.active_flushes += 1
+            try:
+                yield from target.write(job.key, job.payload, job.nbytes, self.node)
+            finally:
+                self.node.active_flushes -= 1
+            if self.use_burst_buffer:
+                self._start_drain(job)
+            self.jobs_done += 1
+            self.bytes_flushed += job.nbytes
+            self.cluster.trace.emit(
+                self.engine.now,
+                f"veloc.server{self.node.index}",
+                "flush_done",
+                key=job.key,
+                nbytes=job.nbytes,
+                tier="bb" if self.use_burst_buffer else "pfs",
+            )
+            if not job.done.triggered:
+                job.done.succeed(None)
+
+    def _start_drain(self, job: FlushJob) -> None:
+        """Background burst-buffer -> PFS migration (fabric-side: costs
+        PFS server time but no node NIC)."""
+        cluster = self.cluster
+
+        def drain():
+            pfs = cluster.pfs
+            remaining = float(job.nbytes)
+            chunk_size = pfs.spec.chunk_bytes
+            while remaining > 0:
+                piece = min(remaining, chunk_size)
+                server = pfs._pick_server()
+                yield server.request_lock()
+                try:
+                    hold = server.latency + piece / server.bandwidth
+                    server.busy_time += hold
+                    server.bytes_moved += piece
+                    yield cluster.engine.timeout(hold)
+                finally:
+                    server.release_lock()
+                remaining -= piece
+            pfs._objects[job.key] = job.payload
+            pfs._sizes[job.key] = float(job.nbytes)
+            pfs.bytes_written += float(job.nbytes)
+            cluster.trace.emit(
+                cluster.engine.now,
+                f"veloc.server{self.node.index}",
+                "drain_done",
+                key=job.key,
+            )
+
+        cluster.engine.process(
+            drain(), name=f"veloc.drain{self.node.index}", daemon=True
+        )
+
+
+class VeloCService:
+    """Lazily creates one server per node of a cluster.
+
+    Shared by all ranks co-located on a node, exactly like the real VeloC
+    active-backend daemon.
+    """
+
+    def __init__(self, cluster: Cluster, use_burst_buffer: bool = False) -> None:
+        self.cluster = cluster
+        self.use_burst_buffer = use_burst_buffer
+        self._servers: Dict[int, VeloCServer] = {}
+
+    def server_for(self, node: Node) -> VeloCServer:
+        server = self._servers.get(node.index)
+        if server is None:
+            server = VeloCServer(
+                self.cluster, node, use_burst_buffer=self.use_burst_buffer
+            )
+            self._servers[node.index] = server
+        return server
+
+    @property
+    def servers(self) -> Dict[int, VeloCServer]:
+        return dict(self._servers)
+
+    def total_backlog(self) -> int:
+        return sum(s.backlog for s in self._servers.values())

@@ -1,0 +1,61 @@
+"""Shared driver for application tests: full resilient stack runner."""
+
+from typing import Optional
+
+from repro.core import KRConfig, every_nth, make_context
+from repro.fenix import FenixSystem, IMRStore
+from repro.mpi import World
+from repro.sim import Cluster, ClusterSpec, NetworkSpec, NodeSpec, PFSSpec
+from repro.veloc import VeloCService
+
+
+def app_cluster(n_nodes):
+    return Cluster(
+        ClusterSpec(
+            n_nodes=n_nodes,
+            node=NodeSpec(nic_bandwidth=1e9, nic_latency=1e-6, memory_bandwidth=1e10),
+            network=NetworkSpec(fabric_latency=0.0),
+            pfs=PFSSpec(n_servers=2, server_bandwidth=5e8, server_latency=1e-5),
+        )
+    )
+
+
+def run_app(
+    main_factory,
+    n_ranks,
+    n_spares=0,
+    plan=None,
+    backend="veloc",
+    ckpt_interval=10,
+    scope="all",
+):
+    """Run a resilient app main on the full stack; returns (results, world).
+
+    ``main_factory(make_kr, results, plan)`` builds the per-rank main.
+    """
+    n_total = n_ranks + n_spares
+    cluster = app_cluster(n_total)
+    world = World(cluster, n_total)
+    system = FenixSystem(world, n_spares=n_spares)
+    service = VeloCService(cluster)
+    imr = IMRStore(world)
+    config = KRConfig(
+        backend=backend, filter=every_nth(ckpt_interval), recovery_scope=scope
+    )
+
+    def make_kr(h):
+        return make_context(
+            h, config, cluster, veloc_service=service, imr_store=imr
+        )
+
+    results = {}
+    main = main_factory(make_kr, results, plan)
+
+    def wrapped(rank):
+        yield from system.run(world.context(rank), main)
+
+    for r in range(n_total):
+        world.spawn(r, wrapped(r), failure_plan=plan)
+    cluster.engine.run()
+    world.raise_job_errors()
+    return results, world

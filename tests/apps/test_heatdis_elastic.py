@@ -1,0 +1,107 @@
+"""Elastic Heatdis: shrink-and-rebalance continuation (future work, built)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import HeatdisConfig
+from repro.apps.heatdis import heatdis_reference
+from repro.apps.heatdis_elastic import (
+    gather_elastic,
+    make_elastic_heatdis_main,
+    partition_rows,
+)
+from repro.fenix import FenixSystem
+from repro.mpi import World
+from repro.sim import IterationFailure
+from repro.veloc import VeloCService
+from tests.apps.conftest import app_cluster
+
+TOTAL_ROWS = 12
+COLS = 16
+N_ITERS = 30
+CKPT = 6
+
+
+class TestPartition:
+    def test_even_split(self):
+        assert partition_rows(12, 3, 0) == (0, 4)
+        assert partition_rows(12, 3, 2) == (8, 12)
+
+    def test_remainder_spread(self):
+        # 13 rows over 3 ranks: 5, 4, 4
+        assert partition_rows(13, 3, 0) == (0, 5)
+        assert partition_rows(13, 3, 1) == (5, 9)
+        assert partition_rows(13, 3, 2) == (9, 13)
+
+    def test_covers_exactly(self):
+        for total in (7, 12, 31):
+            for size in (1, 2, 3, 5):
+                spans = [partition_rows(total, size, r) for r in range(size)]
+                assert spans[0][0] == 0
+                assert spans[-1][1] == total
+                for a, b in zip(spans, spans[1:]):
+                    assert a[1] == b[0]
+
+
+def run_elastic(n_ranks, plan=None):
+    cluster = app_cluster(n_ranks)
+    world = World(cluster, n_ranks)
+    system = FenixSystem(world, n_spares=0, spare_policy="shrink")
+    cfg = HeatdisConfig(local_rows=TOTAL_ROWS // n_ranks, cols=COLS,
+                        modeled_bytes_per_rank=16e6, n_iters=N_ITERS)
+    results = {}
+    main = make_elastic_heatdis_main(
+        cfg, cluster, TOTAL_ROWS, n_ranks, CKPT,
+        failure_plan=plan, results=results,
+    )
+
+    def wrapped(rank):
+        yield from system.run(world.context(rank), main)
+
+    for r in range(n_ranks):
+        world.spawn(r, wrapped(r), failure_plan=plan)
+    cluster.engine.run()
+    world.raise_job_errors()
+    return results, world, system
+
+
+def reference_grid():
+    cfg = HeatdisConfig(local_rows=TOTAL_ROWS, cols=COLS, n_iters=N_ITERS)
+    return heatdis_reference(cfg, 1, N_ITERS)
+
+
+class TestElasticRuns:
+    def test_failure_free_matches_reference(self):
+        results, _, _ = run_elastic(3)
+        grid = gather_elastic(results, TOTAL_ROWS, COLS)
+        np.testing.assert_allclose(grid, reference_grid(), rtol=1e-12,
+                                   atol=1e-13)
+
+    def test_shrink_continues_and_is_exact(self):
+        """Kill one of three ranks with no spares: the job shrinks to two
+        ranks, rebalances the rows, redistributes the checkpoint, and
+        still produces the bit-exact answer."""
+        plan = IterationFailure([(1, 17)])  # ~95% between ckpts 12 and 18
+        results, world, system = run_elastic(3, plan=plan)
+        assert world.dead == {1}
+        assert system.resilient_comm.size == 2
+        # survivors now own 6 rows each (was 4): the load rebalance
+        sizes = sorted(out["range"][1] - out["range"][0]
+                       for out in results.values())
+        assert sizes == [6, 6]
+        grid = gather_elastic(results, TOTAL_ROWS, COLS)
+        np.testing.assert_array_equal(grid, reference_grid())
+
+    def test_two_sequential_shrinks(self):
+        plan = IterationFailure([(1, 8), (2, 20)])
+        results, world, system = run_elastic(4, plan=plan)
+        assert world.dead == {1, 2}
+        assert system.resilient_comm.size == 2
+        grid = gather_elastic(results, TOTAL_ROWS, COLS)
+        np.testing.assert_array_equal(grid, reference_grid())
+
+    def test_failure_before_any_checkpoint(self):
+        plan = IterationFailure([(0, 3)])  # before the first checkpoint
+        results, world, _ = run_elastic(3, plan=plan)
+        grid = gather_elastic(results, TOTAL_ROWS, COLS)
+        np.testing.assert_array_equal(grid, reference_grid())

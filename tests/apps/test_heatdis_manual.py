@@ -1,0 +1,70 @@
+"""Manual (hand-integrated) Heatdis variants vs the KR-managed one."""
+
+import numpy as np
+import pytest
+
+from repro.apps import HeatdisConfig
+from repro.harness import run_heatdis_job
+from repro.sim import IterationFailure
+from tests.harness.conftest import small_env
+
+
+CFG = HeatdisConfig(local_rows=8, cols=16, modeled_bytes_per_rank=32e6,
+                    n_iters=40)
+CKPT = 8
+
+
+def run(strategy, plan=None):
+    return run_heatdis_job(small_env(), strategy, 4, CFG, CKPT, plan=plan)
+
+
+class TestEquivalence:
+    def test_manual_veloc_matches_kr_results(self):
+        manual = run("veloc")
+        managed = run("kr_veloc")
+        for r in range(4):
+            np.testing.assert_array_equal(
+                manual.results[r]["grid"], managed.results[r]["grid"]
+            )
+
+    def test_manual_fenix_matches_full_stack_results(self):
+        manual = run("fenix_veloc")
+        managed = run("fenix_kr_veloc")
+        for r in range(4):
+            np.testing.assert_array_equal(
+                manual.results[r]["grid"], managed.results[r]["grid"]
+            )
+
+    def test_kr_overhead_negligible_vs_manual(self):
+        """The paper's headline Section VI-D claim, at the job level."""
+        manual = run("veloc")
+        managed = run("kr_veloc")
+        assert managed.wall_time == pytest.approx(manual.wall_time, rel=0.02)
+
+
+class TestManualFailurePaths:
+    def test_manual_veloc_relaunch_recovers(self):
+        plan = IterationFailure([(2, 30)])
+        clean = run("veloc")
+        failed = run("veloc", plan=plan)
+        assert failed.attempts == 2
+        for r in range(4):
+            np.testing.assert_array_equal(
+                clean.results[r]["grid"], failed.results[r]["grid"]
+            )
+
+    def test_manual_fenix_online_recovery(self):
+        plan = IterationFailure([(2, 30)])
+        clean = run("fenix_veloc")
+        failed = run("fenix_veloc", plan=plan)
+        assert failed.attempts == 1  # no relaunch
+        for r in range(4):
+            np.testing.assert_array_equal(
+                clean.results[r]["grid"], failed.results[r]["grid"]
+            )
+
+    def test_manual_fenix_beats_manual_relaunch(self):
+        plan = IterationFailure([(2, 30)])
+        relaunch = run("veloc", plan=IterationFailure([(2, 30)]))
+        online = run("fenix_veloc", plan=plan)
+        assert online.wall_time < relaunch.wall_time

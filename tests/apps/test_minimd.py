@@ -1,0 +1,170 @@
+"""MiniMD correctness: physics sanity, census structure, resilience."""
+
+import numpy as np
+import pytest
+
+from repro.apps import MiniMDConfig, make_minimd_main
+from repro.apps.minimd import MiniMDState
+from repro.kokkos import KokkosRuntime
+from repro.sim import IterationFailure
+from repro.util.errors import ConfigError
+from tests.apps.conftest import run_app
+
+
+def small_cfg(**kw):
+    defaults = dict(real_atoms_per_rank=24, n_steps=20, problem_size=100,
+                    dt=0.003, neigh_every=5)
+    defaults.update(kw)
+    return MiniMDConfig(**defaults)
+
+
+class TestConfig:
+    def test_modeled_scaling(self):
+        cfg = MiniMDConfig(problem_size=200, n_ranks_for_model=8)
+        assert cfg.modeled_atoms_per_rank == 4 * 200**3 / 8
+        assert cfg.checkpoint_bytes == 2 * cfg.modeled_position_bytes
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MiniMDConfig(real_atoms_per_rank=4)
+        with pytest.raises(ConfigError):
+            MiniMDConfig(n_steps=0)
+
+
+class TestViewCensus:
+    def test_inventory_matches_paper_counts(self):
+        """61 view objects: 39 checkpointed, 3 aliases, 19 skipped."""
+        rt = KokkosRuntime()
+        state = MiniMDState(rt, small_cfg(), comm_rank=0, comm_size=2)
+        views = state.all_views()
+        assert len(views) == 61
+        census = rt.registry.census(views)
+        assert len(census.checkpointed) == 39
+        assert len(census.aliases) == 3
+        assert len(census.skipped) == 19
+
+    def test_positions_dominate_checkpointed_bytes(self):
+        """One view holds the majority of the checkpointed data."""
+        rt = KokkosRuntime()
+        state = MiniMDState(rt, small_cfg(), comm_rank=0, comm_size=2)
+        census = rt.registry.census(state.all_views())
+        sizes = sorted((v.modeled_nbytes for v in census.checkpointed),
+                       reverse=True)
+        assert sizes[0] >= 0.5 * sum(sizes)
+
+    def test_checkpoint_set_is_39_views(self):
+        rt = KokkosRuntime()
+        state = MiniMDState(rt, small_cfg(), comm_rank=0, comm_size=1)
+        assert len(state.checkpoint_views) == 39
+
+
+class TestPhysics:
+    def run_clean(self, n_ranks=2, **cfg_kw):
+        cfg = small_cfg(**cfg_kw)
+
+        def factory(make_kr, results, plan):
+            return make_minimd_main(cfg, make_kr, failure_plan=plan,
+                                    results=results)
+
+        results, _ = run_app(factory, n_ranks, ckpt_interval=8)
+        return results, cfg
+
+    def test_runs_and_stays_finite(self):
+        results, _ = self.run_clean()
+        for r, out in results.items():
+            assert np.all(np.isfinite(out["x"]))
+            assert np.all(np.isfinite(out["v"]))
+
+    def test_deterministic(self):
+        a, _ = self.run_clean()
+        b, _ = self.run_clean()
+        for r in a:
+            np.testing.assert_array_equal(a[r]["x"], b[r]["x"])
+            np.testing.assert_array_equal(a[r]["v"], b[r]["v"])
+
+    def test_momentum_approximately_conserved(self):
+        results, _ = self.run_clean()
+        total_p = sum(out["v"].sum(axis=0) for out in results.values())
+        # initial net momentum is zero per rank; pairwise forces cancel
+        assert np.abs(total_p).max() < 1e-6
+
+    def test_atoms_stay_in_box(self):
+        results, cfg = self.run_clean()
+        rt = KokkosRuntime()
+        probe = MiniMDState(rt, cfg, comm_rank=0, comm_size=2)
+        for out in results.values():
+            assert np.all(out["x"] >= -1e-9)
+            assert np.all(out["x"][:, 0] <= probe.box_xy + 1e-9)
+            assert np.all(out["x"][:, 2] <= probe.box_z + 1e-9)
+
+    def test_energy_reasonably_stable(self):
+        # NVE velocity Verlet: total energy should not blow up
+        results, _ = self.run_clean(dt=0.001, n_steps=30)
+        total_e = sum(out["pe"] + out["ke"] for out in results.values())
+        assert np.isfinite(total_e)
+
+    def test_thermo_observables(self):
+        results, cfg = self.run_clean()
+        for out in results.values():
+            obs = out["state"].thermo(out["pe"])
+            assert obs["temperature"] > 0
+            assert np.isfinite(obs["pressure"])
+            assert obs["etot"] == pytest.approx(obs["pe"] + obs["ke"])
+            # observables land in the checkpointed stat views
+            assert out["state"].views["thermo_temp"].data.flat[0] == (
+                pytest.approx(obs["temperature"])
+            )
+
+
+class TestResilientMiniMD:
+    def test_failure_recovery_bitwise_exact(self):
+        cfg = small_cfg(n_steps=24)
+
+        def factory_with(plan):
+            def factory(make_kr, results, _plan):
+                return make_minimd_main(cfg, make_kr, failure_plan=plan,
+                                        results=results)
+            return factory
+
+        clean, _ = run_app(factory_with(None), 3, n_spares=1, ckpt_interval=6)
+        plan = IterationFailure([(1, 17)])  # ~95% between ckpts 12 and 18
+        failed, world = run_app(
+            factory_with(plan), 3, n_spares=1, plan=plan, ckpt_interval=6
+        )
+        assert world.dead == {1}
+        for r in range(3):
+            np.testing.assert_array_equal(clean[r]["x"], failed[r]["x"])
+            np.testing.assert_array_equal(clean[r]["v"], failed[r]["v"])
+
+    def test_kr_census_during_run_matches_paper(self):
+        cfg = small_cfg(n_steps=6)
+
+        def factory(make_kr, results, plan):
+            return make_minimd_main(cfg, make_kr, results=results)
+
+        results, _ = run_app(factory, 2, ckpt_interval=3)
+        census = results[0]["kr"].last_census
+        assert len(census.checkpointed) == 39
+        assert len(census.aliases) == 3
+        assert len(census.skipped) == 19
+
+    def test_phase_time_accounting(self):
+        cfg = small_cfg(n_steps=10)
+        accounts = {}
+
+        def factory(make_kr, results, plan):
+            inner = make_minimd_main(cfg, make_kr, results=results)
+
+            def main(role, h):
+                res = yield from inner(role, h)
+                accounts[h.rank] = h.ctx.account.snapshot()
+                return res
+
+            return main
+
+        run_app(factory, 2, ckpt_interval=5)
+        for snap in accounts.values():
+            assert snap.get("force_compute", 0) > 0
+            assert snap.get("neighboring", 0) > 0
+            assert snap.get("communicator", 0) > 0
+            assert snap.get("checkpoint_function", 0) > 0

@@ -1,0 +1,94 @@
+"""Backend-layer unit tests: region ids, StdFile specifics."""
+
+import numpy as np
+import pytest
+
+from repro.core.backends import region_id_for
+from repro.core.backends.stdfile import StdFileBackend
+from repro.kokkos import KokkosRuntime
+from repro.mpi import World
+from repro.sim import Cluster, ClusterSpec
+from repro.util.errors import ReproError
+
+
+class TestRegionIds:
+    def test_stable_across_calls(self):
+        assert region_id_for("heatdis.grid") == region_id_for("heatdis.grid")
+
+    def test_distinct_labels_distinct_ids(self):
+        labels = [f"view{i}" for i in range(100)]
+        ids = {region_id_for(l) for l in labels}
+        assert len(ids) == 100
+
+    def test_non_negative_31_bit(self):
+        for label in ("a", "grid", "x" * 200):
+            rid = region_id_for(label)
+            assert 0 <= rid < 2**31
+
+
+class TestStdFileBackend:
+    def make(self):
+        cluster = Cluster(ClusterSpec(n_nodes=1))
+        world = World(cluster, 1)
+        h = world.comm_world_handle(0)
+        return cluster, world, StdFileBackend(cluster, h, prefix="t")
+
+    def test_checkpoint_restore_roundtrip(self):
+        cluster, world, backend = self.make()
+        rt = KokkosRuntime()
+        v = rt.view("x", data=np.arange(4.0))
+
+        def proc():
+            backend.register_views([v])
+            yield from backend.checkpoint(0)
+            v.fill(0.0)
+            yield from backend.restore(0, [v])
+
+        cluster.engine.process(proc())
+        cluster.engine.run()
+        assert np.array_equal(v.data, np.arange(4.0))
+
+    def test_restore_missing_version_raises(self):
+        cluster, world, backend = self.make()
+        rt = KokkosRuntime()
+        v = rt.view("x", shape=(2,))
+        caught = []
+
+        def proc():
+            try:
+                yield from backend.restore(9, [v])
+            except ReproError:
+                caught.append(True)
+
+        cluster.engine.process(proc())
+        cluster.engine.run()
+        assert caught == [True]
+
+    def test_synchronous_write_blocks_caller(self):
+        # unlike VeloC, StdFile pays the whole PFS write in the call
+        cluster, world, backend = self.make()
+        rt = KokkosRuntime()
+        v = rt.view("x", shape=(2,), modeled_nbytes=1e9)
+
+        def proc():
+            backend.register_views([v])
+            yield from backend.checkpoint(0)
+
+        cluster.engine.process(proc())
+        cluster.engine.run()
+        # 1 GB through the default 4x2GiB PFS: >= 0.1s of wall
+        assert cluster.engine.now > 0.1
+
+    def test_local_versions_scoped_by_rank_and_prefix(self):
+        cluster, world, backend = self.make()
+        rt = KokkosRuntime()
+        v = rt.view("x", shape=(2,))
+
+        def proc():
+            backend.register_views([v])
+            yield from backend.checkpoint(0)
+            yield from backend.checkpoint(3)
+
+        cluster.engine.process(proc())
+        cluster.engine.run()
+        assert backend.local_versions() == {0, 3}

@@ -1,0 +1,30 @@
+"""Checkpoint filter tests."""
+
+import pytest
+
+from repro.core import always, every_nth, never
+from repro.util.errors import ConfigError
+
+
+def test_every_nth_basic():
+    f = every_nth(5)
+    assert [i for i in range(0, 21) if f(i)] == [5, 10, 15, 20]
+
+
+def test_every_nth_offset():
+    f = every_nth(4, offset=2)
+    assert [i for i in range(0, 15) if f(i)] == [6, 10, 14]
+
+
+def test_every_nth_skips_start():
+    assert not every_nth(3)(0)
+
+
+def test_every_nth_validates():
+    with pytest.raises(ConfigError):
+        every_nth(0)
+
+
+def test_always_never():
+    assert always(0) and always(7)
+    assert not never(0) and not never(7)

@@ -1,0 +1,48 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example is executed in-process (imported as a module and its
+``main()`` called) so failures surface as ordinary test errors with
+tracebacks, and the suite guarantees the documented entry points stay
+working.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "custom_app.py",
+        "minimd_resilient.py",
+        "heatdis_partial_rollback.py",
+        "elastic_shrink.py",
+    ],
+)
+def test_example_runs(script, capsys):
+    module = load_example(script)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_strategy_comparison_with_args(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["strategy_comparison.py", "64MB", "4"])
+    module = load_example("strategy_comparison.py")
+    module.main()
+    out = capsys.readouterr().out
+    assert "fenix_kr_veloc" in out

@@ -1,0 +1,38 @@
+"""Shared helpers for Fenix tests."""
+
+from repro.fenix import FenixSystem
+from repro.mpi import World
+from repro.sim import Cluster, ClusterSpec, NetworkSpec, NodeSpec
+
+
+def fenix_cluster(n_nodes):
+    return Cluster(
+        ClusterSpec(
+            n_nodes=n_nodes,
+            node=NodeSpec(nic_bandwidth=1e9, nic_latency=1e-6, memory_bandwidth=1e10),
+            network=NetworkSpec(fabric_latency=0.0),
+        )
+    )
+
+
+def run_fenix(n_ranks, n_spares, main, plan=None, spare_policy="shrink"):
+    """Run ``main(role, handle)`` under Fenix on every rank.
+
+    Returns (results_by_world_rank, system, world): results hold each rank
+    process's return value.
+    """
+    cluster = fenix_cluster(n_ranks)
+    world = World(cluster, n_ranks)
+    system = FenixSystem(world, n_spares=n_spares, spare_policy=spare_policy)
+    results = {}
+
+    def wrapped(rank):
+        ctx = world.context(rank)
+        res = yield from system.run(ctx, main)
+        results[rank] = res
+
+    for r in range(n_ranks):
+        world.spawn(r, wrapped(r), failure_plan=plan, name=f"fenix:rank{r}")
+    cluster.engine.run()
+    world.raise_job_errors()
+    return results, system, world

@@ -1,0 +1,182 @@
+"""Fenix data-group (Fenix_Data_*) commit-consistency tests."""
+
+import numpy as np
+import pytest
+
+from repro.fenix import DataGroup, FenixSystem, IMRStore, Role
+from repro.fenix.errors import FenixError
+from repro.mpi import SUM, World
+from repro.sim import IterationFailure
+from tests.fenix.conftest import fenix_cluster
+
+
+def run_group_app(n_ranks, main, n_spares=0, plan=None):
+    cluster = fenix_cluster(n_ranks)
+    world = World(cluster, n_ranks)
+    system = FenixSystem(world, n_spares=n_spares)
+    imr = IMRStore(world)
+    results = {}
+
+    def wrapped(rank):
+        ctx = world.context(rank)
+        res = yield from system.run(
+            ctx, lambda role, h: main(role, h, imr)
+        )
+        results[rank] = res
+
+    for r in range(n_ranks):
+        world.spawn(r, wrapped(r), failure_plan=plan)
+    cluster.engine.run()
+    world.raise_job_errors()
+    return results, world
+
+
+class TestCommitSemantics:
+    def test_staged_not_restorable_before_commit(self):
+        def main(role, h, imr):
+            from repro.kokkos import KokkosRuntime
+
+            rt = KokkosRuntime()
+            v = rt.view("x", data=np.ones(4))
+            group = DataGroup(imr, h, group_id=1)
+            yield from group.member_store(0, v)
+            return sorted(group.committed_versions())
+
+        results, _ = run_group_app(2, main)
+        assert results[0] == []
+
+    def test_commit_makes_version_restorable(self):
+        def main(role, h, imr):
+            from repro.kokkos import KokkosRuntime
+
+            rt = KokkosRuntime()
+            v = rt.view("x", data=np.arange(4.0))
+            group = DataGroup(imr, h, group_id=1)
+            yield from group.member_store(0, v)
+            ts = yield from group.commit()
+            v.fill(0.0)
+            tier = yield from group.member_restore(0, ts)
+            return (ts, tier, v.data.copy())
+
+        results, _ = run_group_app(2, main)
+        ts, tier, data = results[0]
+        assert ts == 0
+        assert tier == "local"
+        assert np.array_equal(data, np.arange(4.0))
+
+    def test_commit_is_atomic_over_members(self):
+        def main(role, h, imr):
+            from repro.kokkos import KokkosRuntime
+
+            rt = KokkosRuntime()
+            a = rt.view("a", data=np.ones(2))
+            b = rt.view("b", data=np.full(2, 2.0))
+            group = DataGroup(imr, h, group_id=1)
+            yield from group.member_store(0, a)
+            # only member 0 staged; committed version lacks member 1 ->
+            # committed_versions (intersection over members) stays empty
+            group.member_create(1, b)
+            ts = yield from group.commit()
+            partial = sorted(group.committed_versions())
+            yield from group.member_store(1, b)
+            ts2 = yield from group.commit()
+            full = sorted(group.committed_versions())
+            return (ts, partial, ts2, full)
+
+        results, _ = run_group_app(2, main)
+        ts, partial, ts2, full = results[0]
+        assert partial == []  # member 1 missing from version 0
+        assert ts2 == 1
+        assert 1 in full
+
+    def test_commit_without_store_rejected(self):
+        def main(role, h, imr):
+            from repro.kokkos import KokkosRuntime
+
+            rt = KokkosRuntime()
+            group = DataGroup(imr, h, group_id=1)
+            group.member_create(0, rt.view("x", shape=(2,)))
+            with pytest.raises(FenixError):
+                yield from group.commit()
+            return "ok"
+
+        results, _ = run_group_app(2, main)
+        assert results[0] == "ok"
+
+    def test_gc_keeps_recent_versions(self):
+        def main(role, h, imr):
+            from repro.kokkos import KokkosRuntime
+
+            rt = KokkosRuntime()
+            v = rt.view("x", shape=(2,))
+            group = DataGroup(imr, h, group_id=1, keep_versions=2)
+            for i in range(4):
+                v.fill(float(i))
+                yield from group.member_store(0, v)
+                yield from group.commit()
+            return sorted(group.committed_versions())
+
+        results, _ = run_group_app(2, main)
+        assert results[0] == [2, 3]
+
+
+class TestFailureSemantics:
+    def test_uncommitted_data_lost_with_owner(self):
+        """Staged-but-uncommitted data must not be restorable by the
+        replacement, even though the buddy physically holds a copy."""
+        plan = IterationFailure([(1, 1)])
+        log = {}
+
+        def main(role, h, imr):
+            from repro.kokkos import KokkosRuntime
+
+            rt = KokkosRuntime()
+            v = rt.view("x", data=np.full(2, float(h.rank)))
+            group = DataGroup(imr, h, group_id=1)
+            if role is not Role.INITIAL:
+                if role is Role.RECOVERED:
+                    log["recovered_versions"] = sorted(
+                        group.committed_versions()
+                    )
+                return role.value  # post-failure path is collective-free
+            # iteration 0: store + commit; iteration 1: store only
+            yield from group.member_store(0, v)
+            yield from group.commit()
+            yield from h.allreduce(1, op=SUM)
+            plan.check(h.ctx.rank, 1)
+            yield from group.member_store(0, v)
+            # victim dies before commit; survivors proceed
+            yield from h.allreduce(1, op=SUM)
+            return "done"
+
+        results, world = run_group_app(4, main, n_spares=1, plan=plan)
+        # the replacement only sees the COMMITTED version 0
+        assert log["recovered_versions"] == [0]
+
+    def test_buddy_restore_after_owner_death(self):
+        plan = IterationFailure([(1, 1)])
+        log = {}
+
+        def main(role, h, imr):
+            from repro.kokkos import KokkosRuntime
+
+            rt = KokkosRuntime()
+            v = rt.view("x", data=np.full(2, 10.0 + h.rank))
+            group = DataGroup(imr, h, group_id=1)
+            if role is not Role.INITIAL:
+                if role is Role.RECOVERED:
+                    versions = group.committed_versions()
+                    tier = yield from group.member_restore(0, max(versions), v)
+                    log["restore"] = (tier, float(v.data[0]))
+                return role.value
+            yield from group.member_store(0, v)
+            yield from group.commit()
+            yield from h.allreduce(1, op=SUM)
+            plan.check(h.ctx.rank, 1)
+            yield from h.allreduce(1, op=SUM)
+            return "done"
+
+        run_group_app(4, main, n_spares=1, plan=plan)
+        tier, value = log["restore"]
+        assert tier == "buddy"
+        assert value == 11.0  # rank 1's committed data

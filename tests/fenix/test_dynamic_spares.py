@@ -1,0 +1,88 @@
+"""Dynamic spare growth: ranks joining the pool mid-run (future work)."""
+
+import pytest
+
+from repro.fenix import FenixSystem, Role
+from repro.mpi import SUM, World
+from repro.sim import IterationFailure
+from repro.util.errors import ConfigError
+from tests.fenix.conftest import fenix_cluster
+
+
+def run_dynamic(n_world, n_active, n_spares, late, plan, n_iters=8,
+                iter_time=0.5):
+    """`late` maps world_rank -> spawn time for dynamic spares."""
+    cluster = fenix_cluster(n_world)
+    world = World(cluster, n_world)
+    system = FenixSystem(world, n_spares=n_spares, n_active=n_active)
+    results = {}
+    entries = []
+
+    def main(role, h):
+        entries.append((h.ctx.rank, role.value))
+        for i in range(n_iters):
+            plan.check(h.ctx.rank, i)
+            yield from h.ctx.sleep(iter_time)
+            yield from h.allreduce(1, op=SUM)
+        return ("finished", h.rank)
+
+    def wrapped(rank, delay):
+        ctx = world.context(rank)
+        if delay:
+            yield from ctx.sleep(delay)
+        res = yield from system.run(ctx, main)
+        results[rank] = res
+
+    for r in range(n_world):
+        world.spawn(r, wrapped(r, late.get(r, 0.0)), failure_plan=plan)
+    cluster.engine.run()
+    world.raise_job_errors()
+    return results, world, system, entries
+
+
+class TestDynamicSpares:
+    def test_validation(self):
+        cluster = fenix_cluster(4)
+        world = World(cluster, 4)
+        with pytest.raises(ConfigError):
+            FenixSystem(world, n_spares=2, n_active=3)  # 5 > 4 ranks
+
+    def test_late_spare_consumed_by_second_failure(self):
+        # 6 world ranks: 4 active, 1 configured spare (rank 4), and a
+        # dynamic spare (rank 5) that only starts at t=1.2.  Failures at
+        # iterations 1 (t~0.5) and 4 (t~2+) consume both.
+        plan = IterationFailure([(0, 1), (1, 4)])
+        results, world, system, entries = run_dynamic(
+            6, n_active=4, n_spares=1, late={5: 1.2}, plan=plan,
+        )
+        assert world.dead == {0, 1}
+        assert system.generation == 2
+        assert system.spare_pool == []
+        finished = sorted(v for v in results.values() if isinstance(v, tuple))
+        assert finished == [
+            ("finished", 0), ("finished", 1), ("finished", 2), ("finished", 3),
+        ]
+        # the dynamic rank really entered as RECOVERED
+        assert (5, "recovered") in entries
+
+    def test_repair_does_not_wait_for_unarrived_dynamic_spare(self):
+        # dynamic spare arrives at t=100 (long after everything); the
+        # first failure must be repaired by the configured spare without
+        # waiting for it.
+        plan = IterationFailure([(0, 1)])
+        results, world, system, entries = run_dynamic(
+            6, n_active=4, n_spares=1, late={5: 100.0}, plan=plan,
+        )
+        assert system.generation == 1
+        finished = [v for v in results.values() if isinstance(v, tuple)]
+        assert len(finished) == 4
+        # job finished long before the dynamic spare's arrival would matter
+        assert world.dead == {0}
+
+    def test_dynamic_spare_idle_if_no_failure(self):
+        plan = IterationFailure([])
+        results, world, system, entries = run_dynamic(
+            5, n_active=3, n_spares=1, late={4: 0.2}, plan=plan,
+        )
+        assert results[4] is None  # released at job end like any spare
+        assert 4 in system.spare_pool

@@ -1,0 +1,149 @@
+"""Figure-2 walkthrough: the paper's three control-flow columns, verified.
+
+Figure 2 shows (left to right): the reference implementation, a
+Fenix-enabled run without failures, and a Fenix run with a rank-two
+failure.  These tests execute all three and assert the diagram's
+distinctive properties: where communicative initialization runs, who
+long-jumps, which rank states appear, and the ordering
+detect -> repair -> re-entry.
+"""
+
+import pytest
+
+from repro.fenix import FenixSystem, Role
+from repro.mpi import ProcFailedError, SUM, World
+from repro.sim import IterationFailure
+from tests.fenix.conftest import fenix_cluster
+
+N_ITERS = 6
+
+
+def figure2_app(journal, plan=None):
+    """The paper's skeleton: communicative init for initial ranks, data
+    recovery for others, the work loop with periodic checkpoints."""
+
+    def main(role, h):
+        t = h.engine.now
+        journal.append((t, "enter", h.ctx.rank, role.value))
+        if role is Role.INITIAL:
+            journal.append((t, "communicative_init", h.ctx.rank))
+            start = 0
+        elif role is Role.RECOVERED:
+            journal.append((t, "recover_data", h.ctx.rank))
+            start = 0  # latest+1 in the full apps; immaterial here
+        else:  # SURVIVOR: data intact, no init, no recovery
+            start = 0
+        for i in range(start, N_ITERS):
+            if plan is not None:
+                plan.check(h.ctx.rank, i)
+            yield from h.allreduce(1, op=SUM)
+            journal.append((h.engine.now, "iter", h.ctx.rank, i))
+        return "finalized"
+
+    return main
+
+
+def run_column(n_ranks, n_spares, plan=None):
+    cluster = fenix_cluster(n_ranks)
+    world = World(cluster, n_ranks)
+    system = FenixSystem(world, n_spares=n_spares)
+    journal = []
+    results = {}
+    main = figure2_app(journal, plan)
+
+    def wrapped(rank):
+        res = yield from system.run(world.context(rank), main)
+        results[rank] = res
+
+    for r in range(n_ranks):
+        world.spawn(r, wrapped(r), failure_plan=plan)
+    cluster.engine.run()
+    world.raise_job_errors()
+    return journal, results, world, system
+
+
+class TestColumnTwo_FenixNoFailures:
+    def test_single_init_single_pass(self):
+        journal, results, world, system = run_column(4, n_spares=1)
+        inits = [e for e in journal if e[1] == "communicative_init"]
+        assert len(inits) == 3  # once per active rank, never repeated
+        assert all(results[r] == "finalized" for r in range(3))
+        assert results[3] is None  # the spare passed through Fenix only
+        assert system.generation == 0
+
+    def test_spare_never_enters_main(self):
+        journal, _, _, _ = run_column(4, n_spares=1)
+        entered = {e[2] for e in journal if e[1] == "enter"}
+        assert 3 not in entered
+
+
+class TestColumnThree_RankTwoFailure:
+    @pytest.fixture(scope="class")
+    def run(self):
+        plan = IterationFailure([(2, 3)])
+        return run_column(5, n_spares=1, plan=plan)
+
+    def test_rank_states_match_figure(self, run):
+        journal, results, world, system = run
+        roles_seen = {}
+        for e in journal:
+            if e[1] == "enter":
+                roles_seen.setdefault(e[2], []).append(e[3])
+        # initial pass on ranks 0..3; after the failure: 0,1,3 survivors,
+        # world rank 4 (the spare) recovered in slot 2
+        assert roles_seen[0] == ["initial", "survivor"]
+        assert roles_seen[1] == ["initial", "survivor"]
+        assert roles_seen[3] == ["initial", "survivor"]
+        assert roles_seen[4] == ["recovered"]
+        assert roles_seen[2] == ["initial"]  # died mid-run, no re-entry
+
+    def test_survivors_skip_communicative_init(self, run):
+        journal, _, _, _ = run
+        # communicative init ran exactly once per initial rank; the
+        # recovered rank took the recover_data path instead (Figure 2's
+        # else-branch)
+        init_ranks = [e[2] for e in journal if e[1] == "communicative_init"]
+        assert sorted(init_ranks) == [0, 1, 2, 3]
+        recover_ranks = [e[2] for e in journal if e[1] == "recover_data"]
+        assert recover_ranks == [4]
+
+    def test_detect_repair_reenter_ordering(self, run):
+        journal, _, world, system = run
+        t_detect = min(d["time"] for d in system.detections)
+        reentries = [e[0] for e in journal if e[1] == "enter"
+                     and e[3] in ("survivor", "recovered")]
+        assert all(t >= t_detect for t in reentries)
+        assert system.generation == 1
+
+    def test_all_slots_finish(self, run):
+        _, results, world, _ = run
+        finished = [r for r, v in results.items() if v == "finalized"]
+        assert sorted(finished) == [0, 1, 3, 4]
+
+
+class TestColumnOne_ReferenceImplementation:
+    def test_without_fenix_failure_is_fatal(self):
+        """The reference column: an unhandled process failure kills the
+        job (errors propagate; no recovery path exists)."""
+        cluster = fenix_cluster(3)
+        world = World(cluster, 3)
+        plan = IterationFailure([(1, 2)])
+        outcomes = {}
+
+        def main(rank):
+            h = world.comm_world_handle(rank)  # plain handle, no handler
+            try:
+                for i in range(N_ITERS):
+                    plan.check(rank, i)
+                    yield from h.allreduce(1, op=SUM)
+                outcomes[rank] = "finished"
+            except ProcFailedError:
+                outcomes[rank] = "fatal"
+                raise
+
+        for r in range(3):
+            world.spawn(r, main(r), failure_plan=plan)
+        cluster.engine.run()
+        assert outcomes[0] == "fatal"
+        assert outcomes[2] == "fatal"
+        assert world.errors  # crashes recorded; a real job would abort

@@ -1,0 +1,40 @@
+"""Shared experiment environment for harness tests (small & fast)."""
+
+import pytest
+
+from repro.apps import HeatdisConfig, MiniMDConfig
+from repro.harness import ExperimentEnv, JobCosts
+from repro.sim import ClusterSpec, NetworkSpec, NodeSpec, PFSSpec
+from repro.util.units import GiB, MiB
+
+
+def small_env(n_nodes=6, **cost_kw):
+    spec = ClusterSpec(
+        n_nodes=n_nodes,
+        node=NodeSpec(
+            flops=100e9,
+            nic_bandwidth=2 * GiB,
+            nic_latency=2e-6,
+            memory_bandwidth=20 * GiB,
+        ),
+        network=NetworkSpec(fabric_latency=1e-6, chunk_bytes=4 * MiB),
+        pfs=PFSSpec(
+            n_servers=2, server_bandwidth=0.5 * GiB, server_latency=5e-5,
+            chunk_bytes=8 * MiB,
+        ),
+    )
+    return ExperimentEnv(cluster_spec=spec, costs=JobCosts(**cost_kw), n_spares=1)
+
+
+@pytest.fixture
+def heat_cfg():
+    # 6 checkpoints over 60 iterations at interval 10
+    return HeatdisConfig(
+        local_rows=8, cols=16, modeled_bytes_per_rank=64e6, n_iters=60
+    )
+
+
+@pytest.fixture
+def md_cfg():
+    return MiniMDConfig(real_atoms_per_rank=24, n_steps=24, problem_size=100,
+                        dt=0.003, neigh_every=6)

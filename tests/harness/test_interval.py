@@ -1,0 +1,56 @@
+"""Young/Daly checkpoint-interval estimator tests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.harness.interval import daly_interval, expected_runtime, young_interval
+from repro.util.errors import ConfigError
+
+
+class TestFormulas:
+    def test_young_formula(self):
+        assert young_interval(10.0, 2000.0) == pytest.approx(
+            math.sqrt(2 * 10 * 2000)
+        )
+
+    def test_daly_close_to_young_for_small_cost(self):
+        y = young_interval(1.0, 1e5)
+        d = daly_interval(1.0, 1e5)
+        assert d == pytest.approx(y, rel=0.02)
+
+    def test_daly_below_young_for_larger_cost(self):
+        # the -C term dominates the correction
+        assert daly_interval(50.0, 500.0) < young_interval(50.0, 500.0)
+
+    def test_degenerate_regime(self):
+        assert daly_interval(100.0, 10.0) == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            young_interval(-1.0, 10.0)
+        with pytest.raises(ConfigError):
+            daly_interval(1.0, 0.0)
+        with pytest.raises(ConfigError):
+            expected_runtime(10.0, 0.0, 1.0, 10.0)
+
+
+class TestOptimality:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        cost=st.floats(min_value=0.1, max_value=20.0),
+        mtbf=st.floats(min_value=500.0, max_value=1e5),
+    )
+    def test_young_interval_near_model_minimum(self, cost, mtbf):
+        """The closed form should beat nearby intervals in the runtime
+        model it is derived from."""
+        opt = young_interval(cost, mtbf)
+        t_opt = expected_runtime(1e4, opt, cost, mtbf)
+        for factor in (0.25, 4.0):
+            assert t_opt <= expected_runtime(1e4, opt * factor, cost, mtbf)
+
+    def test_runtime_increases_with_failure_rate(self):
+        fast_fail = expected_runtime(1e4, 100.0, 5.0, 1e3)
+        slow_fail = expected_runtime(1e4, 100.0, 5.0, 1e5)
+        assert fast_fail > slow_fail

@@ -1,0 +1,55 @@
+"""Report formatting edge cases."""
+
+import pytest
+
+from repro.harness.report import (
+    HEATDIS_CATEGORIES,
+    MINIMD_CATEGORIES,
+    format_report_table,
+    summarize_categories,
+)
+from repro.harness.runner import RunReport
+
+
+def report(buckets, wall=10.0, strategy="s"):
+    return RunReport(
+        strategy=strategy, app="x", n_ranks=2, wall_time=wall, attempts=1,
+        failures=0, buckets=buckets, results={},
+    )
+
+
+class TestSummarize:
+    def test_unknown_buckets_fold_into_other(self):
+        rep = report({"app_compute": 4.0, "exotic_bucket": 2.0}, wall=10.0)
+        summary = summarize_categories(rep, HEATDIS_CATEGORIES)
+        assert summary["app_compute"] == 4.0
+        # exotic bucket is not shown by name but its time is in the wall,
+        # so "other" absorbs it: 10 - 4 = 6
+        assert summary["other"] == 6.0
+        assert sum(summary.values()) == pytest.approx(10.0)
+
+    def test_minimd_categories(self):
+        rep = report({"force_compute": 5.0, "communicator": 1.0}, wall=8.0)
+        summary = summarize_categories(rep, MINIMD_CATEGORIES)
+        assert summary["force_compute"] == 5.0
+        assert summary["other"] == 2.0
+
+    def test_other_never_negative(self):
+        rep = report({"app_compute": 50.0}, wall=10.0)
+        summary = summarize_categories(rep, HEATDIS_CATEGORIES)
+        assert summary["other"] == 0.0
+
+
+class TestTable:
+    def test_multiple_rows_aligned(self):
+        reps = [
+            report({"app_compute": 1.0}, strategy="short"),
+            report({"app_compute": 2.0}, strategy="a_much_longer_name"),
+        ]
+        table = format_report_table(reps, HEATDIS_CATEGORIES)
+        lines = table.splitlines()
+        assert len({len(l) for l in lines[:1] + lines[2:]}) == 1  # aligned
+
+    def test_title_included(self):
+        table = format_report_table([report({})], title="My Title")
+        assert table.startswith("My Title")

@@ -1,0 +1,111 @@
+"""Tests for parallel dispatch patterns."""
+
+import numpy as np
+import pytest
+
+from repro.kokkos import (
+    KokkosRuntime,
+    MDRangePolicy,
+    RangePolicy,
+    parallel_for,
+    parallel_reduce,
+    parallel_scan,
+)
+from repro.util.errors import ConfigError
+
+
+class TestPolicies:
+    def test_range_policy_end_only(self):
+        assert list(RangePolicy(4).indices()) == [0, 1, 2, 3]
+
+    def test_range_policy_begin_end(self):
+        assert list(RangePolicy(2, 5).indices()) == [2, 3, 4]
+
+    def test_range_policy_len(self):
+        assert len(RangePolicy(3, 10)) == 7
+
+    def test_negative_range_rejected(self):
+        with pytest.raises(ConfigError):
+            RangePolicy(5, 2)
+
+    def test_mdrange_row_major(self):
+        pol = MDRangePolicy((0, 2), (0, 3))
+        assert list(pol.indices()) == [
+            (0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2),
+        ]
+        assert len(pol) == 6
+
+    def test_mdrange_requires_dims(self):
+        with pytest.raises(ConfigError):
+            MDRangePolicy()
+
+
+class TestParallelFor:
+    def test_writes_into_view(self):
+        rt = KokkosRuntime()
+        v = rt.view("squares", shape=(6,))
+        parallel_for(6, lambda i: v.__setitem__(i, float(i * i)))
+        assert np.array_equal(v.data, [0.0, 1.0, 4.0, 9.0, 16.0, 25.0])
+
+    def test_int_policy_shortcut(self):
+        hits = []
+        parallel_for(3, hits.append)
+        assert hits == [0, 1, 2]
+
+    def test_mdrange_functor_arity(self):
+        rt = KokkosRuntime()
+        v = rt.view("grid", shape=(3, 4))
+        parallel_for(
+            MDRangePolicy((0, 3), (0, 4)),
+            lambda i, j: v.__setitem__((i, j), i * 10.0 + j),
+        )
+        assert v[2, 3] == 23.0
+
+    def test_empty_range_noop(self):
+        hits = []
+        parallel_for(RangePolicy(3, 3), hits.append)
+        assert hits == []
+
+
+class TestParallelReduce:
+    def test_sum_default(self):
+        total = parallel_reduce(5, lambda i: i)
+        assert total == 10
+
+    def test_custom_joiner_max(self):
+        data = [3.0, 7.0, 1.0, 5.0]
+        result = parallel_reduce(
+            4, lambda i: data[i], init=-np.inf, joiner=max
+        )
+        assert result == 7.0
+
+    def test_mdrange_reduce(self):
+        result = parallel_reduce(MDRangePolicy((0, 2), (0, 2)), lambda i, j: i + j)
+        assert result == 0 + 1 + 1 + 2
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        data = rng.random(100)
+        result = parallel_reduce(100, lambda i: data[i])
+        assert result == pytest.approx(data.sum())
+
+
+class TestParallelScan:
+    def test_inclusive_scan_total(self):
+        contributions = [1.0, 2.0, 3.0, 4.0]
+        total = parallel_scan(4, lambda i, partial, final: contributions[i])
+        assert total == 10.0
+
+    def test_scan_observes_prefix(self):
+        prefixes = []
+
+        def functor(i, partial, final):
+            prefixes.append(partial)
+            return 1.0
+
+        parallel_scan(4, functor)
+        assert prefixes == [0.0, 1.0, 2.0, 3.0]
+
+    def test_scan_rejects_mdrange(self):
+        with pytest.raises(ConfigError):
+            parallel_scan(MDRangePolicy((0, 2)), lambda i, p, f: 0)

@@ -1,0 +1,30 @@
+"""Execution/memory space semantics."""
+
+import numpy as np
+
+from repro.kokkos import DeviceSpace, HostSpace, KokkosRuntime, deep_copy
+
+
+class TestSpaces:
+    def test_space_names_and_memory(self):
+        assert HostSpace().memory_space == "host"
+        assert DeviceSpace().memory_space == "device"
+
+    def test_fence_is_safe(self):
+        KokkosRuntime().fence()
+        KokkosRuntime(space=DeviceSpace()).fence()
+
+    def test_deep_copy_across_spaces(self):
+        host_rt = KokkosRuntime()
+        dev_rt = KokkosRuntime(space=DeviceSpace())
+        h = host_rt.view("h", data=np.arange(4.0))
+        d = dev_rt.view("d", shape=(4,))
+        deep_copy(d, h)
+        assert np.array_equal(d.data, np.arange(4.0))
+        assert d.on_device and not h.on_device
+
+    def test_registries_are_per_runtime(self):
+        a, b = KokkosRuntime(), KokkosRuntime()
+        a.view("x", shape=(1,))
+        assert len(a.registry) == 1
+        assert len(b.registry) == 0

@@ -1,0 +1,150 @@
+"""Tests for View and deep_copy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kokkos import KokkosRuntime, View, deep_copy
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture
+def rt():
+    return KokkosRuntime()
+
+
+class TestViewCreation:
+    def test_zero_initialized(self, rt):
+        v = rt.view("temps", shape=(4, 4))
+        assert v.shape == (4, 4)
+        assert np.all(v.data == 0.0)
+
+    def test_from_existing_data(self, rt):
+        arr = np.arange(6.0).reshape(2, 3)
+        v = rt.view("arr", data=arr)
+        assert np.array_equal(v.data, arr)
+
+    def test_label_required(self):
+        with pytest.raises(ConfigError):
+            View("", shape=(2,))
+
+    def test_shape_xor_data(self):
+        with pytest.raises(ConfigError):
+            View("x", shape=(2,), data=np.zeros(2))
+        with pytest.raises(ConfigError):
+            View("x")
+
+    def test_dtype(self, rt):
+        v = rt.view("ints", shape=(3,), dtype=np.int32)
+        assert v.dtype == np.int32
+        assert v.nbytes == 12.0
+
+    def test_registered_on_creation(self, rt):
+        v = rt.view("tracked", shape=(2,))
+        assert v in list(rt.registry)
+
+
+class TestViewSemantics:
+    def test_indexing(self, rt):
+        v = rt.view("grid", shape=(3, 3))
+        v[1, 2] = 7.0
+        assert v[1, 2] == 7.0
+        assert v.data[1, 2] == 7.0
+
+    def test_numpy_interop(self, rt):
+        v = rt.view("vec", data=np.arange(5.0))
+        assert np.sum(v) == 10.0
+        assert np.array(v).shape == (5,)
+
+    def test_fill(self, rt):
+        v = rt.view("f", shape=(4,))
+        v.fill(2.5)
+        assert np.all(v.data == 2.5)
+
+    def test_copy_and_load_roundtrip(self, rt):
+        v = rt.view("state", data=np.arange(4.0))
+        snap = v.copy_data()
+        v.fill(0.0)
+        v.load_data(snap)
+        assert np.array_equal(v.data, np.arange(4.0))
+
+    def test_load_shape_mismatch_rejected(self, rt):
+        v = rt.view("s", shape=(4,))
+        with pytest.raises(ConfigError):
+            v.load_data(np.zeros(5))
+
+    def test_snapshot_is_independent(self, rt):
+        v = rt.view("snap", data=np.ones(3))
+        snap = v.copy_data()
+        v.fill(9.0)
+        assert np.all(snap == 1.0)
+
+
+class TestBufferIdentity:
+    def test_distinct_views_distinct_buffers(self, rt):
+        a = rt.view("a", shape=(4,))
+        b = rt.view("b", shape=(4,))
+        assert a.buffer_id() != b.buffer_id()
+
+    def test_subview_shares_buffer(self, rt):
+        a = rt.view("a", shape=(10,))
+        sub = a.subview(slice(2, 6), label="a_mid")
+        assert sub.buffer_id() == a.buffer_id()
+        sub[0] = 5.0
+        assert a[2] == 5.0
+
+    def test_view_over_same_array_shares_buffer(self, rt):
+        arr = np.zeros(8)
+        a = rt.view("first", data=arr)
+        b = rt.view("second", data=arr[::2])
+        assert a.buffer_id() == b.buffer_id()
+
+    def test_copyied_array_new_buffer(self, rt):
+        arr = np.zeros(8)
+        a = rt.view("first", data=arr)
+        b = rt.view("copy", data=arr.copy())
+        assert a.buffer_id() != b.buffer_id()
+
+
+class TestModeledSize:
+    def test_defaults_to_actual(self, rt):
+        v = rt.view("v", shape=(100,))
+        assert v.modeled_nbytes == v.nbytes == 800.0
+
+    def test_override(self, rt):
+        v = rt.view("big", shape=(10,), modeled_nbytes=1e9)
+        assert v.nbytes == 80.0
+        assert v.modeled_nbytes == 1e9
+
+    def test_setter(self, rt):
+        v = rt.view("x", shape=(2,))
+        v.modeled_nbytes = 123.0
+        assert v.modeled_nbytes == 123.0
+
+
+class TestDeepCopy:
+    def test_view_to_view(self, rt):
+        src = rt.view("src", data=np.arange(4.0))
+        dst = rt.view("dst", shape=(4,))
+        deep_copy(dst, src)
+        assert np.array_equal(dst.data, src.data)
+        src[0] = 99.0
+        assert dst[0] == 0.0  # deep, not aliased
+
+    def test_scalar_broadcast(self, rt):
+        dst = rt.view("dst", shape=(3, 3))
+        deep_copy(dst, 4.0)
+        assert np.all(dst.data == 4.0)
+
+    def test_ndarray_source(self, rt):
+        dst = rt.view("dst", shape=(3,))
+        deep_copy(dst, np.array([1.0, 2.0, 3.0]))
+        assert np.array_equal(dst.data, [1.0, 2.0, 3.0])
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False), min_size=1, max_size=32))
+    def test_roundtrip_property(self, values):
+        rt = KokkosRuntime()
+        src = rt.view("src", data=np.array(values))
+        dst = rt.view("dst", shape=(len(values),))
+        deep_copy(dst, src)
+        assert np.array_equal(dst.data, np.array(values))

@@ -1,0 +1,58 @@
+"""Shared helpers for MPI-layer tests."""
+
+import pytest
+
+from repro.sim import Cluster, ClusterSpec, NetworkSpec, NodeSpec
+from repro.mpi import World
+
+
+def small_cluster(n_nodes: int) -> Cluster:
+    """A fast, low-latency cluster for protocol tests."""
+    return Cluster(
+        ClusterSpec(
+            n_nodes=n_nodes,
+            node=NodeSpec(
+                nic_bandwidth=1e9, nic_latency=1e-6, memory_bandwidth=1e10
+            ),
+            network=NetworkSpec(fabric_latency=0.0),
+        )
+    )
+
+
+def run_ranks(n_ranks, body, n_nodes=None, ranks_per_node=None, until=None):
+    """Run ``body(handle)`` as every rank's main; returns {rank: result}.
+
+    ``body`` is a generator function taking the rank's COMM_WORLD handle.
+    """
+    n_nodes = n_nodes if n_nodes is not None else n_ranks
+    rpn = ranks_per_node if ranks_per_node is not None else max(
+        1, -(-n_ranks // n_nodes)
+    )
+    cluster = small_cluster(n_nodes)
+    world = World(cluster, n_ranks, ranks_per_node=rpn)
+    results = {}
+
+    def main(rank):
+        handle = world.comm_world_handle(rank)
+        res = yield from body(handle)
+        results[rank] = res
+
+    for r in range(n_ranks):
+        world.spawn(r, main(r))
+    if until is None:
+        cluster.engine.run()
+    else:
+        cluster.engine.run(until=until)
+    world.raise_job_errors()
+    return results, world
+
+
+@pytest.fixture
+def ranks4():
+    """Convenience: a 4-rank world builder."""
+
+    def runner(body):
+        results, _world = run_ranks(4, body)
+        return results
+
+    return runner

@@ -1,0 +1,83 @@
+"""Multiple ranks per node: placement, shared NIC, shared scratch."""
+
+import pytest
+
+from repro.mpi import World
+from repro.sim import Cluster, ClusterSpec, NetworkSpec, NodeSpec
+from repro.util.errors import ConfigError
+
+
+def packed_cluster(n_nodes):
+    return Cluster(
+        ClusterSpec(
+            n_nodes=n_nodes,
+            node=NodeSpec(nic_bandwidth=100.0, nic_latency=0.0,
+                          memory_bandwidth=1e6),
+            network=NetworkSpec(fabric_latency=0.0),
+        )
+    )
+
+
+class TestPlacement:
+    def test_block_mapping(self):
+        cluster = packed_cluster(2)
+        world = World(cluster, 4, ranks_per_node=2)
+        assert world.node_of_rank(0).index == 0
+        assert world.node_of_rank(1).index == 0
+        assert world.node_of_rank(2).index == 1
+        assert world.node_of_rank(3).index == 1
+
+    def test_overflow_rejected(self):
+        cluster = packed_cluster(1)
+        with pytest.raises(ConfigError):
+            World(cluster, 3, ranks_per_node=2)
+
+    def test_colocated_ranks_share_scratch(self):
+        cluster = packed_cluster(1)
+        world = World(cluster, 2, ranks_per_node=2)
+        world.context(0).node.scratch["key"] = "value"
+        assert world.context(1).node.scratch["key"] == "value"
+
+
+class TestSharedNIC:
+    def test_intra_node_messages_use_memory_not_nic(self):
+        cluster = packed_cluster(1)
+        world = World(cluster, 2, ranks_per_node=2)
+        done = {}
+
+        def body(rank):
+            h = world.comm_world_handle(rank)
+            if rank == 0:
+                yield from h.send(None, dest=1, nbytes=1e5)
+            else:
+                yield from h.recv(source=0)
+            done[rank] = cluster.engine.now
+
+        for r in range(2):
+            world.spawn(r, body(r))
+        cluster.engine.run()
+        # 1e5 bytes over 1e6 B/s memory bw = 0.1s; NIC would need 1000s
+        assert done[1] < 1.0
+        assert cluster.node(0).tx.bytes_moved == 0.0
+
+    def test_colocated_senders_contend_on_one_nic(self):
+        # two ranks on node 0 each send 100B to ranks on node 1:
+        # both transfers serialize on node 0's single TX pipe
+        cluster = packed_cluster(2)
+        world = World(cluster, 4, ranks_per_node=2)
+        done = {}
+
+        def body(rank):
+            h = world.comm_world_handle(rank)
+            if rank in (0, 1):
+                yield from h.send(None, dest=rank + 2, nbytes=100.0)
+            else:
+                yield from h.recv(source=rank - 2)
+                done[rank] = cluster.engine.now
+
+        for r in range(4):
+            world.spawn(r, body(r))
+        cluster.engine.run()
+        times = sorted(done.values())
+        assert times[0] == pytest.approx(1.0)  # 100B / 100B/s
+        assert times[1] == pytest.approx(2.0)  # queued behind the first

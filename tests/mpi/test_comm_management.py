@@ -1,0 +1,135 @@
+"""Tests for scan/exscan, comm dup/split, and probing."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import SUM, MAX
+from tests.mpi.conftest import run_ranks
+
+
+class TestScan:
+    @pytest.mark.parametrize("size", [1, 2, 5, 8])
+    def test_inclusive_scan(self, size):
+        def body(h):
+            return (yield from h.scan(h.rank + 1, op=SUM))
+
+        results, _ = run_ranks(size, body)
+        for r in range(size):
+            assert results[r] == sum(range(1, r + 2))
+
+    def test_exclusive_scan(self):
+        def body(h):
+            return (yield from h.exscan(h.rank + 1, op=SUM))
+
+        results, _ = run_ranks(4, body)
+        assert results[0] is None
+        assert results[1] == 1
+        assert results[2] == 3
+        assert results[3] == 6
+
+    def test_scan_with_max(self):
+        values = [3, 1, 7, 2]
+
+        def body(h):
+            return (yield from h.scan(values[h.rank], op=MAX))
+
+        results, _ = run_ranks(4, body)
+        assert [results[r] for r in range(4)] == [3, 3, 7, 7]
+
+    def test_scan_arrays(self):
+        def body(h):
+            return (yield from h.scan(np.full(3, float(h.rank + 1)), op=SUM))
+
+        results, _ = run_ranks(3, body)
+        assert np.array_equal(results[2], np.full(3, 6.0))
+
+
+class TestDup:
+    def test_dup_same_group_fresh_context(self):
+        def body(h):
+            dup = yield from h.dup()
+            assert dup.rank == h.rank
+            assert dup.size == h.size
+            assert dup.comm is not h.comm
+            total = yield from dup.allreduce(1, op=SUM)
+            return int(total)
+
+        results, _ = run_ranks(4, body)
+        assert all(v == 4 for v in results.values())
+
+    def test_messages_do_not_cross_communicators(self):
+        def body(h):
+            dup = yield from h.dup()
+            if h.rank == 0:
+                yield from h.send("on-world", dest=1, tag=7)
+                yield from dup.send("on-dup", dest=1, tag=7)
+                return None
+            if h.rank == 1:
+                got_dup = yield from dup.recv(source=0, tag=7)
+                got_world = yield from h.recv(source=0, tag=7)
+                return (got_world, got_dup)
+            return None
+
+        results, _ = run_ranks(2, body)
+        assert results[1] == ("on-world", "on-dup")
+
+
+class TestSplit:
+    def test_split_even_odd(self):
+        def body(h):
+            sub = yield from h.split(color=h.rank % 2)
+            total = yield from sub.allreduce(h.rank, op=SUM)
+            return (sub.rank, sub.size, int(total))
+
+        results, _ = run_ranks(6, body)
+        # evens {0,2,4} and odds {1,3,5}
+        assert results[0] == (0, 3, 6)
+        assert results[2] == (1, 3, 6)
+        assert results[1] == (0, 3, 9)
+        assert results[5] == (2, 3, 9)
+
+    def test_split_key_reorders(self):
+        def body(h):
+            # reverse order within one color group
+            sub = yield from h.split(color=0, key=-h.rank)
+            return sub.rank
+
+        results, _ = run_ranks(4, body)
+        assert results[3] == 0
+        assert results[0] == 3
+
+    def test_negative_color_excluded(self):
+        def body(h):
+            color = -1 if h.rank == 2 else 0
+            sub = yield from h.split(color=color)
+            if sub is None:
+                return "excluded"
+            return sub.size
+
+        results, _ = run_ranks(4, body)
+        assert results[2] == "excluded"
+        assert results[0] == 3
+
+
+class TestIprobe:
+    def test_probe_sees_buffered_message(self):
+        def body(h):
+            if h.rank == 0:
+                yield from h.send(b"abc", dest=1, tag=9)
+                return None
+            yield from h.ctx.sleep(1.0)  # let the message arrive
+            status = h.iprobe(source=0, tag=9)
+            payload = yield from h.recv(source=0, tag=9)
+            return (status.source, status.tag, status.nbytes, payload)
+
+        results, _ = run_ranks(2, body)
+        assert results[1] == (0, 9, 3.0, b"abc")
+
+    def test_probe_returns_none_when_empty(self):
+        def body(h):
+            status = h.iprobe()
+            yield from h.barrier()
+            return status
+
+        results, _ = run_ranks(2, body)
+        assert all(v is None for v in results.values())

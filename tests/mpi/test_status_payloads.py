@@ -1,0 +1,66 @@
+"""payload size estimation and send-time snapshot semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mpi.status import freeze_payload, payload_nbytes
+
+
+class TestPayloadNbytes:
+    def test_none_is_zero(self):
+        assert payload_nbytes(None) == 0.0
+
+    def test_ndarray_exact(self):
+        assert payload_nbytes(np.zeros((4, 4))) == 128.0
+        assert payload_nbytes(np.zeros(3, dtype=np.int32)) == 12.0
+
+    def test_bytes_exact(self):
+        assert payload_nbytes(b"abcde") == 5.0
+        assert payload_nbytes(bytearray(7)) == 7.0
+
+    def test_scalars_flat(self):
+        assert payload_nbytes(42) == 8.0
+        assert payload_nbytes(3.14) == 8.0
+        assert payload_nbytes(True) == 8.0
+        assert payload_nbytes(np.float64(1.0)) == 8.0
+
+    def test_string_utf8(self):
+        assert payload_nbytes("abc") == 3.0
+        assert payload_nbytes("é") == 2.0
+
+    def test_containers_recurse(self):
+        assert payload_nbytes([1, 2]) == 16.0 + 16.0
+        assert payload_nbytes({"k": 1}) == 16.0 + 1.0 + 8.0
+        assert payload_nbytes((np.zeros(2),)) == 16.0 + 16.0
+
+    def test_unknown_object_flat_estimate(self):
+        class Thing:
+            pass
+
+        assert payload_nbytes(Thing()) == 64.0
+
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_array_size_scales(self, n):
+        assert payload_nbytes(np.zeros(n)) == 8.0 * n
+
+
+class TestFreezePayload:
+    def test_scalars_pass_through(self):
+        for value in (None, 1, 1.5, "x", b"y", True):
+            assert freeze_payload(value) is value
+
+    def test_ndarray_copied(self):
+        arr = np.arange(4.0)
+        frozen = freeze_payload(arr)
+        arr[0] = 99.0
+        assert frozen[0] == 0.0
+
+    def test_containers_deep_copied(self):
+        inner = np.zeros(2)
+        payload = {"data": inner, "tag": [1, 2]}
+        frozen = freeze_payload(payload)
+        inner[0] = 5.0
+        payload["tag"].append(3)
+        assert frozen["data"][0] == 0.0
+        assert frozen["tag"] == [1, 2]

@@ -1,0 +1,77 @@
+"""ExponentialFailures plan tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Engine, ExponentialFailures
+from repro.sim.failures import RankKilledError
+from repro.util.errors import ConfigError
+
+
+def run_victims(plan, n_ranks, run_for):
+    """Arm ranks that idle for `run_for`; returns the set killed."""
+    eng = Engine()
+    killed = []
+
+    def rank(r):
+        try:
+            yield eng.timeout(run_for)
+        except RankKilledError:
+            killed.append(r)
+
+    for r in range(n_ranks):
+        proc = eng.process(rank(r), name=f"rank{r}")
+        plan.arm(eng, r, proc)
+    eng.run()
+    return killed
+
+
+class TestExponentialFailures:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ExponentialFailures(0.0)
+
+    def test_deterministic_given_seed(self):
+        a = run_victims(ExponentialFailures(5.0, seed=3), 8, run_for=20.0)
+        b = run_victims(ExponentialFailures(5.0, seed=3), 8, run_for=20.0)
+        assert a == b
+
+    def test_max_failures_cap(self):
+        plan = ExponentialFailures(0.1, seed=1, max_failures=2)
+        killed = run_victims(plan, 10, run_for=100.0)
+        assert len(killed) == 2
+        assert plan.fired == 2
+
+    def test_short_mtbf_kills_most(self):
+        killed = run_victims(ExponentialFailures(1.0, seed=5), 10, run_for=50.0)
+        assert len(killed) >= 8  # P(survive 50 MTBFs) ~ 0
+
+    def test_long_mtbf_kills_few(self):
+        killed = run_victims(ExponentialFailures(1e6, seed=5), 10, run_for=1.0)
+        assert len(killed) == 0
+
+    def test_victims_filter(self):
+        plan = ExponentialFailures(0.01, seed=2, victims={3})
+        killed = run_victims(plan, 6, run_for=10.0)
+        assert killed == [3]
+
+    def test_finished_process_not_killed(self):
+        eng = Engine()
+        plan = ExponentialFailures(0.5, seed=0)
+
+        def quick():
+            yield eng.timeout(1e-6)
+            return "done"
+
+        proc = eng.process(quick())
+        plan.arm(eng, 0, proc)
+        eng.run()
+        assert proc.value == "done"
+
+    def test_reset_preserves_budget(self):
+        plan = ExponentialFailures(0.1, seed=1, max_failures=1)
+        run_victims(plan, 4, run_for=50.0)
+        assert plan.fired == 1
+        plan.reset()
+        killed = run_victims(plan, 4, run_for=50.0)
+        assert killed == []  # the campaign budget is spent

@@ -1,0 +1,101 @@
+"""Unit tests for failure-injection plans."""
+
+import pytest
+
+from repro.sim import Engine, IterationFailure, NoFailures, TimedFailure
+from repro.sim.failures import RankKilledError
+
+
+class TestNoFailures:
+    def test_never_fires(self):
+        plan = NoFailures()
+        for it in range(100):
+            plan.check(rank=0, iteration=it)
+        assert plan.expected_failures() == 0
+
+
+class TestIterationFailure:
+    def test_fires_exactly_once(self):
+        plan = IterationFailure([(2, 10)])
+        plan.check(rank=2, iteration=9)
+        with pytest.raises(RankKilledError) as exc_info:
+            plan.check(rank=2, iteration=10)
+        assert exc_info.value.rank == 2
+        # second pass through the same iteration (post-recovery) is safe
+        plan.check(rank=2, iteration=10)
+
+    def test_other_ranks_unaffected(self):
+        plan = IterationFailure([(2, 10)])
+        plan.check(rank=0, iteration=10)
+        plan.check(rank=3, iteration=10)
+
+    def test_between_checkpoints_rule(self):
+        # checkpoint every 20 iters; fail 95% of the way after ckpt #4
+        plan = IterationFailure.between_checkpoints(
+            rank=1, checkpoint_interval=20, after_checkpoint=4, fraction=0.95
+        )
+        ((rank, iteration),) = plan.pending
+        assert rank == 1
+        assert iteration == 80 + 19  # 4*20 + round(0.95*20)
+
+    def test_multiple_kills(self):
+        plan = IterationFailure([(0, 5), (1, 8)])
+        assert plan.expected_failures() == 2
+        with pytest.raises(RankKilledError):
+            plan.check(0, 5)
+        with pytest.raises(RankKilledError):
+            plan.check(1, 8)
+        assert plan.pending == set()
+
+    def test_reset_reenables(self):
+        plan = IterationFailure([(0, 5)])
+        with pytest.raises(RankKilledError):
+            plan.check(0, 5)
+        plan.reset()
+        with pytest.raises(RankKilledError):
+            plan.check(0, 5)
+
+
+class TestTimedFailure:
+    def test_kills_at_time(self):
+        eng = Engine()
+        plan = TimedFailure([(0, 5.0)])
+        observed = []
+
+        def rank0():
+            try:
+                yield eng.timeout(100.0)
+            except RankKilledError:
+                observed.append(eng.now)
+                return  # swallow: simulated death handled
+
+        proc = eng.process(rank0(), name="rank0")
+        plan.arm(eng, 0, proc)
+        eng.run()
+        assert observed == [5.0]
+
+    def test_does_not_kill_finished_process(self):
+        eng = Engine()
+        plan = TimedFailure([(0, 5.0)])
+
+        def rank0():
+            yield eng.timeout(1.0)
+            return "done"
+
+        proc = eng.process(rank0(), name="rank0")
+        plan.arm(eng, 0, proc)
+        eng.run()
+        assert proc.value == "done"
+
+    def test_unlisted_rank_not_armed(self):
+        eng = Engine()
+        plan = TimedFailure([(3, 5.0)])
+
+        def rank0():
+            yield eng.timeout(10.0)
+            return "survived"
+
+        proc = eng.process(rank0(), name="rank0")
+        plan.arm(eng, 0, proc)
+        eng.run()
+        assert proc.value == "survived"

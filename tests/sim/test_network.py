@@ -1,0 +1,174 @@
+"""Unit tests for the cluster network model."""
+
+import pytest
+
+from repro.sim import Cluster, ClusterSpec, NetworkSpec, NodeSpec
+
+
+def make_cluster(n_nodes=4, **net_kwargs):
+    spec = ClusterSpec(
+        n_nodes=n_nodes,
+        node=NodeSpec(nic_bandwidth=100.0, nic_latency=0.0, memory_bandwidth=1000.0),
+        network=NetworkSpec(fabric_latency=0.0, chunk_bytes=50.0, **net_kwargs),
+    )
+    return Cluster(spec)
+
+
+class TestTransfer:
+    def test_basic_transfer_time(self):
+        cl = make_cluster()
+        eng = cl.engine
+
+        def mover():
+            yield from cl.network.transfer(cl.node(0), cl.node(1), 100.0)
+
+        eng.process(mover())
+        eng.run()
+        assert eng.now == pytest.approx(1.0)  # 100 bytes / 100 B/s
+
+    def test_intra_node_uses_memcpy(self):
+        cl = make_cluster()
+        eng = cl.engine
+
+        def mover():
+            yield from cl.network.transfer(cl.node(0), cl.node(0), 100.0)
+
+        eng.process(mover())
+        eng.run()
+        assert eng.now == pytest.approx(100.0 / 1000.0)
+
+    def test_disjoint_pairs_parallel(self):
+        cl = make_cluster()
+        eng = cl.engine
+        done = []
+
+        def mover(src, dst):
+            yield from cl.network.transfer(cl.node(src), cl.node(dst), 100.0)
+            done.append(eng.now)
+
+        eng.process(mover(0, 1))
+        eng.process(mover(2, 3))
+        eng.run()
+        assert done == [pytest.approx(1.0), pytest.approx(1.0)]
+
+    def test_shared_sender_nic_serializes(self):
+        cl = make_cluster()
+        eng = cl.engine
+        done = []
+
+        def mover(dst):
+            yield from cl.network.transfer(cl.node(0), cl.node(dst), 100.0)
+            done.append(eng.now)
+
+        eng.process(mover(1))
+        eng.process(mover(2))
+        eng.run()
+        assert sorted(done) == [pytest.approx(1.0), pytest.approx(2.0)]
+
+    def test_shared_receiver_nic_serializes(self):
+        cl = make_cluster()
+        eng = cl.engine
+        done = []
+
+        def mover(src):
+            yield from cl.network.transfer(cl.node(src), cl.node(3), 100.0)
+            done.append(eng.now)
+
+        eng.process(mover(0))
+        eng.process(mover(1))
+        eng.run()
+        assert sorted(done) == [pytest.approx(1.0), pytest.approx(2.0)]
+
+    def test_opposite_directions_do_not_block(self):
+        # a->b uses a.tx + b.rx; b->a uses b.tx + a.rx: fully parallel.
+        cl = make_cluster()
+        eng = cl.engine
+        done = []
+
+        def mover(src, dst):
+            yield from cl.network.transfer(cl.node(src), cl.node(dst), 100.0)
+            done.append(eng.now)
+
+        eng.process(mover(0, 1))
+        eng.process(mover(1, 0))
+        eng.run()
+        assert done == [pytest.approx(1.0), pytest.approx(1.0)]
+
+    def test_chunked_transfer_allows_interleaving(self):
+        cl = make_cluster()
+        eng = cl.engine
+        small_done = []
+
+        def bulk():
+            # 500 bytes, chunk=50 -> 10 chunks of 0.5 s each
+            yield from cl.network.transfer(cl.node(0), cl.node(1), 500.0, chunked=True)
+
+        def small():
+            yield eng.timeout(0.1)  # arrive mid-bulk
+            yield from cl.network.transfer(cl.node(0), cl.node(2), 10.0)
+            small_done.append(eng.now)
+
+        eng.process(bulk())
+        eng.process(small())
+        eng.run()
+        # Small message waits only for the current chunk (ends 0.5), then
+        # 0.1s of its own service -> ~0.6, far less than the full 5s bulk.
+        assert small_done[0] < 1.0
+
+    def test_unchunked_transfer_blocks(self):
+        cl = make_cluster()
+        eng = cl.engine
+        small_done = []
+
+        def bulk():
+            yield from cl.network.transfer(cl.node(0), cl.node(1), 500.0)
+
+        def small():
+            yield eng.timeout(0.1)
+            yield from cl.network.transfer(cl.node(0), cl.node(2), 10.0)
+            small_done.append(eng.now)
+
+        eng.process(bulk())
+        eng.process(small())
+        eng.run()
+        assert small_done[0] >= 5.0
+
+    def test_many_crossing_transfers_no_deadlock(self):
+        cl = make_cluster(n_nodes=6)
+        eng = cl.engine
+        count = []
+
+        def mover(src, dst):
+            yield from cl.network.transfer(cl.node(src), cl.node(dst), 30.0)
+            count.append(1)
+
+        pairs = [(i, j) for i in range(6) for j in range(6) if i != j]
+        for src, dst in pairs:
+            eng.process(mover(src, dst))
+        eng.run()
+        assert len(count) == len(pairs)
+
+    def test_estimate_matches_uncontended(self):
+        cl = make_cluster()
+        eng = cl.engine
+        est = cl.network.estimate_time(cl.node(0), cl.node(1), 100.0)
+
+        def mover():
+            yield from cl.network.transfer(cl.node(0), cl.node(1), 100.0)
+
+        eng.process(mover())
+        eng.run()
+        assert eng.now == pytest.approx(est)
+
+    def test_traffic_counters(self):
+        cl = make_cluster()
+        eng = cl.engine
+
+        def mover():
+            yield from cl.network.transfer(cl.node(0), cl.node(1), 100.0)
+            yield from cl.network.transfer(cl.node(1), cl.node(2), 50.0)
+
+        eng.process(mover())
+        eng.run()
+        assert cl.network.messages_sent == 2
+        assert cl.network.bytes_sent == 150.0

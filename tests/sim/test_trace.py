@@ -1,0 +1,54 @@
+"""Trace recording tests."""
+
+from repro.sim import Trace
+
+
+def make_trace():
+    tr = Trace()
+    tr.emit(0.0, "fenix", "detect", rank=1)
+    tr.emit(1.0, "veloc.rank0", "checkpoint", version=0, nbytes=100.0)
+    tr.emit(2.0, "veloc.rank0", "checkpoint", version=1, nbytes=100.0)
+    tr.emit(3.0, "fenix", "repair", generation=1)
+    return tr
+
+
+class TestTrace:
+    def test_emit_and_len(self):
+        assert len(make_trace()) == 4
+
+    def test_filter_by_kind(self):
+        tr = make_trace()
+        assert len(tr.records(kind="checkpoint")) == 2
+
+    def test_filter_by_source(self):
+        tr = make_trace()
+        assert len(tr.records(source="fenix")) == 2
+
+    def test_predicate(self):
+        tr = make_trace()
+        late = tr.records(predicate=lambda r: r.time >= 2.0)
+        assert len(late) == 2
+
+    def test_first_last_count(self):
+        tr = make_trace()
+        assert tr.first("checkpoint")["version"] == 0
+        assert tr.last("checkpoint")["version"] == 1
+        assert tr.count("checkpoint") == 2
+        assert tr.first("missing") is None
+        assert tr.last("missing") is None
+
+    def test_disabled_records_nothing(self):
+        tr = Trace(enabled=False)
+        tr.emit(0.0, "x", "y")
+        assert len(tr) == 0
+
+    def test_clear(self):
+        tr = make_trace()
+        tr.clear()
+        assert len(tr) == 0
+
+    def test_field_access(self):
+        tr = make_trace()
+        rec = tr.first("detect")
+        assert rec["rank"] == 1
+        assert rec.fields == {"rank": 1}

@@ -1,0 +1,71 @@
+"""Unit tests for repro.util.units."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import ConfigError, GiB, KiB, MiB, format_size, format_time, parse_size
+
+
+class TestParseSize:
+    def test_plain_int(self):
+        assert parse_size(4096) == 4096.0
+
+    def test_plain_float(self):
+        assert parse_size(1.5) == 1.5
+
+    def test_bare_number_string(self):
+        assert parse_size("2048") == 2048.0
+
+    def test_binary_suffixes(self):
+        assert parse_size("1KiB") == 1024.0
+        assert parse_size("2MiB") == 2 * 1024.0**2
+        assert parse_size("1GiB") == 1024.0**3
+
+    def test_si_suffixes(self):
+        assert parse_size("1KB") == 1000.0
+        assert parse_size("16MB") == 16e6
+        assert parse_size("1GB") == 1e9
+
+    def test_case_and_whitespace_insensitive(self):
+        assert parse_size(" 256 mb ") == 256e6
+        assert parse_size("1gIb") == 1024.0**3
+
+    def test_fractional_value(self):
+        assert parse_size("0.5GiB") == 0.5 * 1024.0**3
+
+    def test_bytes_suffix(self):
+        assert parse_size("17b") == 17.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size(-1)
+        with pytest.raises(ConfigError):
+            parse_size("-5MB")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size("banana")
+        with pytest.raises(ConfigError):
+            parse_size("12XB")
+        with pytest.raises(ConfigError):
+            parse_size("")
+
+    @given(st.floats(min_value=0, max_value=1e15, allow_nan=False))
+    def test_roundtrip_numeric(self, value):
+        assert parse_size(value) == pytest.approx(value)
+
+
+class TestFormatters:
+    def test_format_size_bytes(self):
+        assert format_size(17) == "17B"
+
+    def test_format_size_binary_units(self):
+        assert format_size(2 * KiB) == "2.0KiB"
+        assert format_size(3 * MiB) == "3.0MiB"
+        assert format_size(1.5 * GiB) == "1.5GiB"
+
+    def test_format_time_ranges(self):
+        assert format_time(0) == "0s"
+        assert format_time(2.5e-6) == "2.5us"
+        assert format_time(3.2e-3) == "3.2ms"
+        assert format_time(12.0) == "12.00s"
