@@ -288,7 +288,7 @@ def make_heatdis_main(
 
             is_recompute = tracker is not None and tracker.is_recompute(h.rank, i)
             if is_recompute:
-                with ctx.account.label("recompute"):
+                with ctx.recompute(i):
                     executed = yield from kr.checkpoint("heatdis", i, region)
             else:
                 executed = yield from kr.checkpoint("heatdis", i, region)

@@ -255,7 +255,7 @@ def make_heatdis2d_main(
                 h.rank, i
             )
             if is_recompute:
-                with ctx.account.label("recompute"):
+                with ctx.recompute(i):
                     yield from kr.checkpoint("heatdis2d", i, region)
             else:
                 yield from kr.checkpoint("heatdis2d", i, region)

@@ -89,7 +89,7 @@ def make_manual_heatdis_main(
                 failure_plan.check(ctx.rank, i)
             is_recompute = tracker is not None and tracker.is_recompute(h.rank, i)
             if is_recompute:
-                with ctx.account.label("recompute"):
+                with ctx.recompute(i):
                     yield from heatdis_iteration(h, state, cfg, reduce_error=False)
             else:
                 yield from heatdis_iteration(h, state, cfg, reduce_error=False)

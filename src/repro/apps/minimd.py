@@ -436,7 +436,7 @@ def make_minimd_main(
                 h.rank, step
             )
             if is_recompute:
-                with ctx.account.label("recompute"):
+                with ctx.recompute(step):
                     yield from kr.checkpoint("minimd", step, region)
             else:
                 yield from kr.checkpoint("minimd", step, region)

@@ -88,6 +88,10 @@ class Context:
         self._recovery_pending = False
         self._post_failure = True
         self.backend.reset(comm)
+        tel = self.ctx.engine.telemetry
+        if tel.enabled:
+            tel.instant(f"rank{self.ctx.rank}", "kr.reset", role=role.name)
+            tel.rank_metrics(self.ctx.rank).inc("kr.resets")
 
     # -- version metadata -----------------------------------------------------------
 
@@ -143,31 +147,49 @@ class Context:
                 f"context already bound to region {self._bound_label!r}; "
                 f"create a separate context for {label!r}"
             )
-        views = discover_views(fn, extra=self._subscriptions or None)
-        census = self._classify(views)
-        self.last_census = census
-        to_save = census.checkpointed
-        if self._recovery_pending and iteration == self._recovery_version:
-            self._recovery_pending = False
-            skip_restore = (
-                self.config.recovery_scope == SCOPE_RECOVERED_ONLY
-                and self.role is not Role.RECOVERED
-            )
-            if not skip_restore:
-                with self.ctx.account.label(DATA_RECOVERY):
-                    yield from self.backend.restore(iteration, to_save)
-                    yield from self._stage_device_views(to_save)
-                self.recoveries_done += 1
-            return False
-        result = fn()
-        if hasattr(result, "send"):  # generator region: drive it
-            yield from result
-        if self.config.filter(iteration):
-            self.backend.register_views(to_save)
-            with self.ctx.account.label(CHECKPOINT_FUNCTION):
-                yield from self._stage_device_views(to_save)
-                yield from self.backend.checkpoint(iteration)
-            self.checkpoints_taken += 1
+        engine = self.ctx.engine
+        tel = engine.telemetry
+        trace = self.ctx.world.trace
+        rank = self.ctx.rank
+        trace.emit(engine.now, f"kr.rank{rank}", "kr_region_begin",
+                   label=label, iteration=int(iteration))
+        with tel.span(f"rank{rank}", "kr.region",
+                      label=label, iteration=int(iteration)):
+            views = discover_views(fn, extra=self._subscriptions or None)
+            census = self._classify(views)
+            self.last_census = census
+            to_save = census.checkpointed
+            if self._recovery_pending and iteration == self._recovery_version:
+                self._recovery_pending = False
+                skip_restore = (
+                    self.config.recovery_scope == SCOPE_RECOVERED_ONLY
+                    and self.role is not Role.RECOVERED
+                )
+                if not skip_restore:
+                    with tel.span(f"rank{rank}", "kr.restore",
+                                  version=int(iteration)):
+                        with self.ctx.account.label(DATA_RECOVERY):
+                            yield from self.backend.restore(iteration, to_save)
+                            yield from self._stage_device_views(to_save)
+                    self.recoveries_done += 1
+                    if tel.enabled:
+                        tel.rank_metrics(rank).inc("kr.recoveries")
+                return False
+            result = fn()
+            if hasattr(result, "send"):  # generator region: drive it
+                yield from result
+            if self.config.filter(iteration):
+                self.backend.register_views(to_save)
+                with tel.span(f"rank{rank}", "kr.commit",
+                              version=int(iteration)):
+                    with self.ctx.account.label(CHECKPOINT_FUNCTION):
+                        yield from self._stage_device_views(to_save)
+                        yield from self.backend.checkpoint(iteration)
+                self.checkpoints_taken += 1
+                trace.emit(engine.now, f"kr.rank{rank}", "kr_region_commit",
+                           label=label, iteration=int(iteration))
+                if tel.enabled:
+                    tel.rank_metrics(rank).inc("kr.commits")
         return True
 
     def _stage_device_views(self, views: List[Any]) -> Generator[Event, Any, None]:

@@ -80,27 +80,40 @@ class IMRStore:
         """Fenix_Data_member_store: snapshot ``view`` locally and at the
         buddy (synchronous; cost scales with the view's modelled size)."""
         engine = ctx.engine
+        tel = engine.telemetry
         t0 = engine.now
         data = view.copy_data()
         nbytes = view.modeled_nbytes
         key = (member_id, int(version), comm.rank)
-        # local copy (memory-copy cost)
-        yield engine.timeout(ctx.node.memcpy_time(nbytes))
-        self._slot(ctx.rank)[key] = (data, nbytes)
-        # buddy copy (network transfer, paid synchronously by the caller)
-        partner = buddy_rank(comm.rank, comm.size)
-        if partner != comm.rank:
-            buddy_world = comm.comm.world_rank(partner)
-            buddy_node = self.world.node_of_rank(buddy_world)
-            yield from self.world.network.transfer(ctx.node, buddy_node, nbytes)
-            self._slot(buddy_world)[key] = (np.copy(data), nbytes)
-            self._gc(buddy_world, member_id, comm.rank, version)
-        self._gc(ctx.rank, member_id, comm.rank, version)
+        with tel.span(f"imr.rank{comm.rank}", "imr.store",
+                      member=member_id, version=int(version), nbytes=nbytes):
+            # local copy (memory-copy cost)
+            yield engine.timeout(ctx.node.memcpy_time(nbytes))
+            self._slot(ctx.rank)[key] = (data, nbytes)
+            # buddy copy (network transfer, paid synchronously by the caller)
+            partner = buddy_rank(comm.rank, comm.size)
+            if partner != comm.rank:
+                buddy_world = comm.comm.world_rank(partner)
+                buddy_node = self.world.node_of_rank(buddy_world)
+                yield from self.world.network.transfer(ctx.node, buddy_node, nbytes)
+                self._slot(buddy_world)[key] = (np.copy(data), nbytes)
+                self._gc(buddy_world, member_id, comm.rank, version)
+                self.world.trace.emit(
+                    engine.now, f"imr.rank{comm.rank}", "imr_buddy_send",
+                    member=member_id, version=int(version), nbytes=nbytes,
+                    buddy=partner,
+                )
+            self._gc(ctx.rank, member_id, comm.rank, version)
         self.world.trace.emit(
             engine.now, f"imr.rank{comm.rank}", "imr_store",
             member=member_id, version=int(version), nbytes=nbytes,
         )
-        ctx.account.charge(CHECKPOINT_FUNCTION, engine.now - t0)
+        dt = engine.now - t0
+        ctx.account.charge(CHECKPOINT_FUNCTION, dt)
+        if tel.enabled:
+            rm = tel.rank_metrics(ctx.rank)
+            rm.inc("imr.store.bytes", nbytes)
+            rm.observe("imr.store.latency", dt)
 
     def _gc(self, world_rank: int, member_id: int, owner: int, latest: int) -> None:
         cutoff = int(latest) - self.keep_versions + 1
@@ -171,32 +184,45 @@ class IMRStore:
         """Fenix_Data_member_restore: local memcpy if this process holds a
         copy, otherwise fetch from the buddy.  Returns the tier used."""
         engine = ctx.engine
+        tel = engine.telemetry
         t0 = engine.now
         key = (member_id, int(version), comm.rank)
-        own = self._memory.get(ctx.rank, {})
-        if key in own:
-            data, nbytes = own[key]
-            yield engine.timeout(ctx.node.memcpy_time(nbytes))
-            tier = "local"
-        else:
-            partner = buddy_rank(comm.rank, comm.size)
-            buddy_world = comm.comm.world_rank(partner)
-            buddy_mem = self._memory.get(buddy_world, {})
-            if partner == comm.rank or key not in buddy_mem:
-                raise FenixError(
-                    f"IMR: no copy of member {member_id} v{version} "
-                    f"for rank {comm.rank}"
+        with tel.span(f"imr.rank{comm.rank}", "imr.restore",
+                      member=member_id, version=int(version)):
+            own = self._memory.get(ctx.rank, {})
+            if key in own:
+                data, nbytes = own[key]
+                yield engine.timeout(ctx.node.memcpy_time(nbytes))
+                tier = "local"
+            else:
+                partner = buddy_rank(comm.rank, comm.size)
+                buddy_world = comm.comm.world_rank(partner)
+                buddy_mem = self._memory.get(buddy_world, {})
+                if partner == comm.rank or key not in buddy_mem:
+                    raise FenixError(
+                        f"IMR: no copy of member {member_id} v{version} "
+                        f"for rank {comm.rank}"
+                    )
+                data, nbytes = buddy_mem[key]
+                buddy_node = self.world.node_of_rank(buddy_world)
+                yield from self.world.network.transfer(buddy_node, ctx.node, nbytes)
+                # re-establish the local copy for future failures
+                self._slot(ctx.rank)[key] = (np.copy(data), nbytes)
+                tier = "buddy"
+                self.world.trace.emit(
+                    engine.now, f"imr.rank{comm.rank}", "imr_buddy_recv",
+                    member=member_id, version=int(version), nbytes=nbytes,
+                    buddy=partner,
                 )
-            data, nbytes = buddy_mem[key]
-            buddy_node = self.world.node_of_rank(buddy_world)
-            yield from self.world.network.transfer(buddy_node, ctx.node, nbytes)
-            # re-establish the local copy for future failures
-            self._slot(ctx.rank)[key] = (np.copy(data), nbytes)
-            tier = "buddy"
-        view.load_data(data)
+            view.load_data(data)
         self.world.trace.emit(
             engine.now, f"imr.rank{comm.rank}", "imr_restore",
             member=member_id, version=int(version), tier=tier,
         )
-        ctx.account.charge(DATA_RECOVERY, engine.now - t0)
+        dt = engine.now - t0
+        ctx.account.charge(DATA_RECOVERY, dt)
+        if tel.enabled:
+            rm = tel.rank_metrics(ctx.rank)
+            rm.inc(f"imr.restore.{tier}")
+            rm.observe("imr.restore.latency", dt)
         return tier

@@ -174,6 +174,11 @@ class FenixSystem:
             self.world.engine.now, "fenix", "detect", rank=ctx.rank,
             error=type(exc).__name__,
         )
+        tel = self.world.engine.telemetry
+        if tel.enabled:
+            tel.instant(f"rank{ctx.rank}", "fenix.detect",
+                        error=type(exc).__name__, generation=self.generation)
+            tel.rank_metrics(ctx.rank).inc("fenix.detections")
 
     # -- repair ------------------------------------------------------------------
 
@@ -181,6 +186,7 @@ class FenixSystem:
         """Build the repaired communicator (runs once per generation, when
         every alive rank has reached the gate)."""
         world = self.world
+        tel = world.engine.telemetry
         old = self.resilient_comm
         if not old.revoked:
             old.revoke()
@@ -197,12 +203,29 @@ class FenixSystem:
                 self.spare_pool.remove(replacement)
                 new_members.append(replacement)
                 roles[replacement] = Role.RECOVERED
+                world.trace.emit(
+                    world.engine.now, "fenix", "spare_activated",
+                    spare=replacement, replaces=w,
+                    generation=self.generation + 1,
+                )
+                if tel.enabled:
+                    tel.instant(f"rank{replacement}", "fenix.spare_activated",
+                                replaces=w, generation=self.generation + 1)
             else:
                 exhausted = True  # slot dropped (shrink) or job aborts
         self.generation += 1
+        # the shrink step: the surviving membership is now decided
+        if tel.enabled:
+            tel.instant("fenix", "fenix.shrink", generation=self.generation,
+                        survivors=len(new_members),
+                        dead=[w for w in old.members if not world.is_alive(w)])
+            tel.set_gauge("fenix.spare_pool_depth",
+                          len([s for s in self.spare_pool if world.is_alive(s)]))
         if exhausted and self.spare_policy == POLICY_ABORT:
             world.trace.emit(world.engine.now, "fenix", "abort",
                              generation=self.generation)
+            if tel.enabled:
+                tel.instant("fenix", "fenix.abort", generation=self.generation)
             return RepairResult(self.generation, None, {}, aborted=True)
         comm = world.create_comm(
             new_members, name=f"fenix.resilient.g{self.generation}"
@@ -216,6 +239,11 @@ class FenixSystem:
             size=comm.size,
             recovered=[w for w, r in roles.items() if r is Role.RECOVERED],
         )
+        # the agreement: every alive rank observes the same repair result
+        if tel.enabled:
+            tel.instant("fenix", "fenix.agree", generation=self.generation,
+                        size=comm.size)
+            tel.inc("fenix.repairs")
         return RepairResult(self.generation, comm, roles)
 
     # -- the run loop (Fenix_Init + long-jump target) ------------------------------
@@ -234,9 +262,11 @@ class FenixSystem:
         """
         world = self.world
         engine = world.engine
+        tel = engine.telemetry
         ctx.user["fenix_system"] = self
         # Fenix_Init cost (duplicating communicators, installing handlers)
-        yield engine.timeout(self.init_cost)
+        with tel.span(f"rank{ctx.rank}", "fenix.init"):
+            yield engine.timeout(self.init_cost)
         ctx.account.charge(RESILIENCE_INIT, self.init_cost)
 
         role: Optional[Role]
@@ -266,13 +296,18 @@ class FenixSystem:
                     if idx == 1:
                         self.retired.add(ctx.rank)
                         return None  # job finished; spare exits cleanly
-                repair: RepairResult = yield self._repair_gate.arrive(ctx.rank)
+                with tel.span(f"rank{ctx.rank}", "fenix.repair",
+                              generation=self.generation, via="spare"):
+                    repair: RepairResult = yield self._repair_gate.arrive(ctx.rank)
                 if repair.aborted:
                     raise SpareExhaustionError("job aborted: spares exhausted")
                 new_role = repair.roles.get(ctx.rank)
                 if new_role is None:
                     continue  # still spare; wait for the next failure
                 role = new_role
+                if tel.enabled:
+                    tel.instant(f"rank{ctx.rank}", "fenix.role",
+                                role=role.name, generation=repair.generation)
             # -- active rank: run the application main ----------------------
             handle = FenixCommHandle(self.resilient_comm, ctx)
             for cb in self._callbacks:
@@ -280,13 +315,18 @@ class FenixSystem:
             try:
                 result = yield from main(role, handle)
             except FenixLongJump:
-                repair = yield self._repair_gate.arrive(ctx.rank)
+                with tel.span(f"rank{ctx.rank}", "fenix.repair",
+                              generation=self.generation, via="longjump"):
+                    repair = yield self._repair_gate.arrive(ctx.rank)
                 if repair.aborted:
                     raise SpareExhaustionError("job aborted: spares exhausted")
                 new_role = repair.roles.get(ctx.rank)
                 if new_role is None:  # shrunk away (cannot happen to survivors)
                     return None
                 role = new_role
+                if tel.enabled:
+                    tel.instant(f"rank{ctx.rank}", "fenix.role",
+                                role=role.name, generation=repair.generation)
                 continue
             # -- normal completion: Fenix_Finalize ---------------------------------
             yield from self._finalize(ctx)

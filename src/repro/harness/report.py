@@ -47,7 +47,7 @@ def summarize_categories(
 
 def report_to_dict(report: RunReport) -> Dict:
     """A JSON-serializable summary of one run (results payload omitted)."""
-    return {
+    out = {
         "strategy": report.strategy,
         "app": report.app,
         "n_ranks": report.n_ranks,
@@ -57,6 +57,9 @@ def report_to_dict(report: RunReport) -> Dict:
         "buckets": dict(report.buckets),
         "other": report.other,
     }
+    if report.telemetry is not None:
+        out["telemetry"] = report.telemetry
+    return out
 
 
 def reports_to_json(reports: Iterable[RunReport], indent: int = 2) -> str:

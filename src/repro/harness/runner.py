@@ -32,6 +32,8 @@ from repro.mpi.errors import MPIError
 from repro.mpi.handle import CommHandle
 from repro.sim import Cluster, ClusterSpec, FailurePlan, NoFailures
 from repro.sim.failures import RankKilledError
+from repro.sim.trace import Trace
+from repro.telemetry import Telemetry
 from repro.util.errors import ConfigError, ReproError
 from repro.veloc import VeloCService
 
@@ -81,6 +83,8 @@ class RunReport:
     results: Dict[int, Any]
     #: platform counters (messages, bytes over NICs / PFS / burst buffer)
     platform: Dict[str, float] = field(default_factory=dict)
+    #: metrics summary (merged + per-rank) when the run was telemetered
+    telemetry: Optional[Dict] = None
 
     @property
     def accounted(self) -> float:
@@ -132,6 +136,7 @@ class JobRunner:
         plan: FailurePlan,
         build_main: Callable[..., Callable],
         app_name: str,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.env = env
         self.strategy = strategy
@@ -148,7 +153,16 @@ class JobRunner:
                 f"{needed_nodes} needed"
             )
         self.n_total = n_total
-        self.cluster = Cluster(env.cluster_spec)
+        self.telemetry = telemetry
+        # a telemetered run also records the legacy event trace so the
+        # exporters can interleave both record kinds on one timeline
+        trace = Trace(enabled=True) if (
+            telemetry is not None and telemetry.enabled
+        ) else None
+        self.cluster = Cluster(env.cluster_spec, trace=trace,
+                               telemetry=telemetry)
+        if trace is not None:
+            telemetry.trace = trace
         self.service = VeloCService(
             self.cluster, use_burst_buffer=env.use_burst_buffer
         )
@@ -168,6 +182,7 @@ class JobRunner:
         # wall time ends when the job completes; stray daemon timers
         # (failure watchdogs armed far in the future) may drain later
         wall = self.finish_time if self.finish_time is not None else engine.now
+        tel = self.telemetry
         return RunReport(
             strategy=self.strategy.name,
             app=self.app_name,
@@ -178,6 +193,10 @@ class JobRunner:
             buckets=buckets,
             results=dict(self.results),
             platform=self._platform_counters(),
+            telemetry=(
+                tel.metrics_summary() if tel is not None and tel.enabled
+                else None
+            ),
         )
 
     def _platform_counters(self) -> Dict[str, float]:
@@ -201,10 +220,14 @@ class JobRunner:
 
     def _driver(self) -> Generator:
         engine = self.cluster.engine
+        tel = engine.telemetry
         costs = self.env.costs
-        yield engine.timeout(self._launch_cost())
+        with tel.span("job", "job.launch"):
+            yield engine.timeout(self._launch_cost())
         while True:
             self.attempts += 1
+            if tel.enabled:
+                tel.instant("job", "job.attempt", attempt=self.attempts)
             world = World(
                 self.cluster,
                 self.n_total,
@@ -247,12 +270,16 @@ class JobRunner:
                 success = len(self.results) >= self.n_ranks
             if success:
                 self.finish_time = engine.now
+                if tel.enabled:
+                    tel.instant("job", "job.done", attempts=self.attempts)
                 break
             if world.dead and system is None:
                 # fail-restart: teardown, wipe node-local state, relaunch
                 self.cluster.wipe_scratch()
-                yield engine.timeout(costs.teardown)
-                yield engine.timeout(self._launch_cost())
+                with tel.span("job", "job.teardown", attempt=self.attempts):
+                    yield engine.timeout(costs.teardown)
+                with tel.span("job", "job.relaunch", attempt=self.attempts):
+                    yield engine.timeout(self._launch_cost())
                 continue
             raise ReproError(
                 f"job failed without recovery path: dead={sorted(world.dead)}"
@@ -339,6 +366,7 @@ def run_heatdis_job(
     cfg: HeatdisConfig,
     ckpt_interval: int,
     plan: Optional[FailurePlan] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> RunReport:
     """Run one Heatdis job under a strategy; returns the report."""
     strategy = STRATEGIES[strategy_name]
@@ -369,7 +397,8 @@ def run_heatdis_job(
             tracker=tracker,
         )
 
-    runner = JobRunner(env, strategy, n_ranks, plan, build_main, "heatdis")
+    runner = JobRunner(env, strategy, n_ranks, plan, build_main, "heatdis",
+                       telemetry=telemetry)
     return runner.run()
 
 
@@ -380,6 +409,7 @@ def run_heatdis2d_job(
     cfg: Heatdis2DConfig,
     ckpt_interval: int,
     plan: Optional[FailurePlan] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> RunReport:
     """Run one 2-D-decomposed Heatdis job under a strategy."""
     strategy = STRATEGIES[strategy_name]
@@ -397,7 +427,8 @@ def run_heatdis2d_job(
             cfg, make_kr, failure_plan=plan, results=results, tracker=tracker
         )
 
-    runner = JobRunner(env, strategy, n_ranks, plan, build_main, "heatdis2d")
+    runner = JobRunner(env, strategy, n_ranks, plan, build_main, "heatdis2d",
+                       telemetry=telemetry)
     return runner.run()
 
 
@@ -408,6 +439,7 @@ def run_minimd_job(
     cfg: MiniMDConfig,
     ckpt_interval: int,
     plan: Optional[FailurePlan] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> RunReport:
     """Run one MiniMD job under a strategy; returns the report."""
     strategy = STRATEGIES[strategy_name]
@@ -423,5 +455,6 @@ def run_minimd_job(
             cfg, make_kr, failure_plan=plan, results=results, tracker=tracker
         )
 
-    runner = JobRunner(env, strategy, n_ranks, plan, build_main, "minimd")
+    runner = JobRunner(env, strategy, n_ranks, plan, build_main, "minimd",
+                       telemetry=telemetry)
     return runner.run()

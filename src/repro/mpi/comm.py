@@ -357,6 +357,9 @@ class Communicator:
             return
         self.revoked = True
         exc_name = self.name
+        #: fan-out = operations poisoned by this revoke (the cost of
+        #: turning one local detection into a global failure event)
+        fanout = len(self._posted) + len(self._unexpected)
         for recv in self._posted:
             try_fail(recv.event, RevokedError(exc_name))
         self._posted.clear()
@@ -366,6 +369,12 @@ class Communicator:
         self.world.trace.emit(
             self.world.engine.now, self.name, "revoke", size=self.size
         )
+        tel = self.world.engine.telemetry
+        if tel.enabled:
+            tel.instant("mpi", "revoke", comm=self.name, size=self.size,
+                        fanout=fanout)
+            tel.inc("mpi.revokes")
+            tel.observe("mpi.revoke.fanout", fanout)
 
     def ack_failed(self) -> Set[int]:
         """MPI_Comm_failure_ack analogue: acknowledge current failures,

@@ -12,7 +12,8 @@ restart; Fenix-based strategies keep one world alive across failures.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, List, Optional, Set
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Generator, Iterator, List, Optional, Set
 
 import numpy as np
 
@@ -76,6 +77,18 @@ class RankContext:
         yield self.engine.timeout(seconds)
         if kind is not None:
             self.account.charge(kind, seconds)
+
+    @contextmanager
+    def recompute(self, iteration: int) -> Iterator[None]:
+        """One re-executed iteration: charge the ``recompute`` bucket and
+        record a span + counter so failure timelines show the recompute
+        window the paper identifies as the bulk of recovery cost."""
+        tel = self.engine.telemetry
+        if tel.enabled:
+            tel.rank_metrics(self.rank).inc("recompute.iterations")
+        with tel.span(f"rank{self.rank}", "recompute", iteration=iteration):
+            with self.account.label("recompute"):
+                yield
 
     def __repr__(self) -> str:  # pragma: no cover
         state = "alive" if self.alive else "dead"
@@ -163,6 +176,9 @@ class World:
         proc.add_callback(lambda ev, r=rank: self._on_rank_exit(r, ev))
         plan = failure_plan or NoFailures()
         plan.arm(self.engine, rank, proc)
+        tel = self.engine.telemetry
+        if tel.enabled:
+            tel.instant("engine", "rank_spawn", rank=rank, world=self.name)
         return proc
 
     def _on_rank_exit(self, rank: int, ev: Event) -> None:
@@ -172,6 +188,9 @@ class World:
         exc = ev.exception
         if isinstance(exc, RankKilledError):
             self.trace.emit(self.engine.now, self.name, "rank_killed", rank=rank)
+            tel = self.engine.telemetry
+            if tel.enabled:
+                tel.instant(f"rank{rank}", "rank_killed", world=self.name)
             self.mark_dead(rank)
             return
         # A genuine crash (bug or unrecovered MPI error): remember it so the
@@ -204,6 +223,10 @@ class World:
         )
         ev.succeed(world_rank)
         self.trace.emit(self.engine.now, self.name, "rank_dead", rank=world_rank)
+        tel = self.engine.telemetry
+        if tel.enabled:
+            tel.instant(f"rank{world_rank}", "rank_dead", world=self.name)
+            tel.inc("mpi.ranks_died")
 
     def add_death_listener(self, listener: Callable[[int], None]) -> None:
         """Register a callback invoked (synchronously) at each rank death.

@@ -17,6 +17,7 @@ from repro.sim.filesystem import ParallelFileSystem, PFSSpec
 from repro.sim.network import Network, NetworkSpec
 from repro.sim.node import Node, NodeSpec
 from repro.sim.trace import Trace
+from repro.telemetry.collector import NULL_TELEMETRY, Telemetry
 from repro.util.errors import ConfigError
 from repro.util.rng import SeedSequenceFactory
 
@@ -46,10 +47,20 @@ class ClusterSpec:
 class Cluster:
     """A live cluster bound to a fresh engine."""
 
-    def __init__(self, spec: ClusterSpec, trace: Optional[Trace] = None) -> None:
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        trace: Optional[Trace] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         self.spec = spec
         self.engine = Engine()
         self.trace = trace if trace is not None else Trace(enabled=False)
+        #: spans + metrics; installed on the engine so every layer reaches
+        #: it through its engine reference without new plumbing
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.telemetry.bind(self.engine)
+        self.engine.telemetry = self.telemetry
         self.rng_factory = SeedSequenceFactory(spec.seed)
         self.nodes: List[Node] = [
             Node(self.engine, index=i, spec=spec.node) for i in range(spec.n_nodes)

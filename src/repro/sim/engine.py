@@ -24,6 +24,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.telemetry.collector import NULL_TELEMETRY
 from repro.util.errors import DeadlockError, SimulationError
 
 _UNSET = object()
@@ -267,6 +268,10 @@ class Process(Event):
         if self.triggered:
             return
         exc = exc if exc is not None else ProcessKilled(f"{self.name} killed")
+        tel = self.engine.telemetry
+        if tel.enabled:
+            tel.instant("engine", "process_kill", process=self.name,
+                        error=type(exc).__name__)
         if self._target is not None:
             self._target.remove_callback(self._resume_cb)
             self._target = None
@@ -331,6 +336,9 @@ class Engine:
         self._seq = 0
         self._alive: set[Process] = set()
         self._failures: list[tuple[Process, BaseException]] = []
+        #: observability hooks; the shared disabled instance unless the
+        #: owning cluster installs a live one (zero-cost when disabled)
+        self.telemetry = NULL_TELEMETRY
 
     # -- construction helpers -------------------------------------------
 

@@ -8,8 +8,11 @@ returned", "revoke reached every rank") without coupling to internals.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
+
+from repro.util.errors import ConfigError
 
 
 @dataclass(frozen=True)
@@ -24,14 +27,29 @@ class TraceRecord:
 
 
 class Trace:
-    """Append-only trace with simple query helpers."""
+    """Append-only trace with simple query helpers.
 
-    def __init__(self, enabled: bool = True) -> None:
+    ``max_records`` switches on ring-buffer mode: the trace keeps only
+    the newest N records and counts evictions in :attr:`dropped`, so
+    long failure campaigns cannot grow memory without bound.  The
+    default stays unbounded (tests assert on complete histories).
+    """
+
+    def __init__(self, enabled: bool = True,
+                 max_records: Optional[int] = None) -> None:
+        if max_records is not None and max_records < 1:
+            raise ConfigError(f"max_records must be >= 1, got {max_records}")
         self.enabled = enabled
-        self._records: List[TraceRecord] = []
+        self.max_records = max_records
+        self._records: Deque[TraceRecord] = deque(maxlen=max_records)
+        #: records evicted by the ring buffer since the last clear()
+        self.dropped = 0
 
     def emit(self, time: float, source: str, kind: str, **fields: Any) -> None:
         if self.enabled:
+            if (self.max_records is not None
+                    and len(self._records) == self.max_records):
+                self.dropped += 1
             self._records.append(TraceRecord(time, source, kind, fields))
 
     def __len__(self) -> int:
@@ -74,3 +92,4 @@ class Trace:
 
     def clear(self) -> None:
         self._records.clear()
+        self.dropped = 0

@@ -1,0 +1,225 @@
+"""Telemetry CLI: run an experiment with full instrumentation and export.
+
+Usage (repository root, ``PYTHONPATH=src``)::
+
+    python -m repro.telemetry run --app heatdis --strategy fenix_veloc \
+        --ranks 4 --kill-rank 2 --out /tmp/run1 --timeline
+    python -m repro.telemetry validate /tmp/run1/trace.json
+    python -m repro.telemetry diff /tmp/run1/metrics.json /tmp/run2/metrics.json
+
+``run`` executes one named experiment with telemetry enabled, writes
+``trace.json`` (Chrome trace-event format -- load it at https://ui.perfetto.dev
+or chrome://tracing) and ``metrics.json`` into ``--out``, validates the
+exported trace, and prints a metrics digest (plus the failure timeline
+with ``--timeline``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Optional
+
+from repro.telemetry.collector import Telemetry
+from repro.telemetry.export import (
+    diff_metrics,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.telemetry.timeline import failure_timeline
+
+APPS = ("heatdis", "heatdis2d", "minimd")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Run, export, and compare instrumented experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one experiment with telemetry on")
+    run.add_argument("--app", choices=APPS, default="heatdis")
+    run.add_argument("--strategy", default="fenix_veloc",
+                     help="a strategy name from repro.harness.strategies")
+    run.add_argument("--ranks", type=int, default=4)
+    run.add_argument("--iters", type=int, default=30,
+                     help="iterations / MD steps")
+    run.add_argument("--interval", type=int, default=10,
+                     help="checkpoint interval (iterations)")
+    run.add_argument("--bytes", type=float, default=16e6,
+                     help="modelled checkpoint bytes per rank")
+    run.add_argument("--spares", type=int, default=1)
+    run.add_argument("--kill-rank", type=int, default=None,
+                     help="inject one failure on this rank")
+    run.add_argument("--kill-after-checkpoint", type=int, default=1,
+                     help="die ~95%% of the way past this checkpoint number")
+    run.add_argument("--seed", type=int, default=20220906)
+    run.add_argument("--out", default="telemetry-out",
+                     help="output directory for trace.json / metrics.json")
+    run.add_argument("--timeline", action="store_true",
+                     help="print the failure timeline")
+    run.add_argument("--timeline-limit", type=int, default=120)
+
+    val = sub.add_parser("validate",
+                         help="validate an exported trace-event JSON file")
+    val.add_argument("trace", help="path to trace.json")
+
+    diff = sub.add_parser("diff", help="compare two metrics.json files")
+    diff.add_argument("a")
+    diff.add_argument("b")
+    return parser
+
+
+def _run(args: argparse.Namespace) -> int:
+    # imported here so `validate`/`diff` stay importable without the
+    # harness (and to keep package import acyclic)
+    from repro.experiments.common import paper_env
+    from repro.harness.runner import (
+        run_heatdis2d_job,
+        run_heatdis_job,
+        run_minimd_job,
+    )
+    from repro.harness.strategies import STRATEGIES
+    from repro.sim.failures import IterationFailure, NoFailures
+
+    if args.strategy not in STRATEGIES:
+        print(f"unknown strategy {args.strategy!r}; choose from: "
+              + ", ".join(sorted(STRATEGIES)), file=sys.stderr)
+        return 2
+    strategy = STRATEGIES[args.strategy]
+    n_spares = args.spares if strategy.fenix else 0
+    n_nodes = args.ranks + max(n_spares, 1)
+    env = paper_env(n_nodes, n_spares=n_spares, seed=args.seed,
+                    pfs_servers=2)
+
+    plan = NoFailures()
+    if args.kill_rank is not None:
+        if not 0 <= args.kill_rank < args.ranks:
+            print(f"--kill-rank {args.kill_rank} out of range for "
+                  f"{args.ranks} ranks", file=sys.stderr)
+            return 2
+        plan = IterationFailure.between_checkpoints(
+            args.kill_rank, args.interval, args.kill_after_checkpoint
+        )
+
+    tel = Telemetry(enabled=True)
+    if args.app == "heatdis":
+        from repro.apps.heatdis import HeatdisConfig
+        cfg = HeatdisConfig(n_iters=args.iters,
+                            modeled_bytes_per_rank=args.bytes)
+        report = run_heatdis_job(env, args.strategy, args.ranks, cfg,
+                                 args.interval, plan=plan, telemetry=tel)
+    elif args.app == "heatdis2d":
+        from repro.apps.heatdis2d import Heatdis2DConfig
+        cfg = Heatdis2DConfig(n_iters=args.iters,
+                              modeled_bytes_per_rank=args.bytes)
+        report = run_heatdis2d_job(env, args.strategy, args.ranks, cfg,
+                                   args.interval, plan=plan, telemetry=tel)
+    else:
+        from repro.apps.minimd import MiniMDConfig
+        cfg = MiniMDConfig(n_steps=args.iters)
+        report = run_minimd_job(env, args.strategy, args.ranks, cfg,
+                                args.interval, plan=plan, telemetry=tel)
+
+    # the runner recorded a legacy Trace alongside the spans and handed
+    # it back on the telemetry object
+    trace = tel.trace
+    run_info = {
+        "app": report.app,
+        "strategy": report.strategy,
+        "n_ranks": report.n_ranks,
+        "wall_time": report.wall_time,
+        "attempts": report.attempts,
+        "failures": report.failures,
+    }
+
+    os.makedirs(args.out, exist_ok=True)
+    trace_path = os.path.join(args.out, "trace.json")
+    metrics_path = os.path.join(args.out, "metrics.json")
+    doc = write_chrome_trace(trace_path, tel, trace=trace, run_info=run_info)
+    write_metrics(metrics_path, tel, run_info=run_info)
+
+    problems = validate_chrome_trace(doc)
+    if problems:
+        for p in problems[:20]:
+            print(f"INVALID: {p}", file=sys.stderr)
+        return 1
+
+    merged = tel.merged_metrics().snapshot()
+    print(f"{report.app} / {report.strategy}: wall={report.wall_time:.3f}s "
+          f"attempts={report.attempts} failures={report.failures}")
+    print(f"wrote {trace_path} ({len(doc['traceEvents'])} events, valid) "
+          f"and {metrics_path}")
+    counters = merged["counters"]
+    if counters:
+        print("counters:")
+        for name, value in sorted(counters.items()):
+            print(f"  {name} = {value:g}")
+    if args.timeline:
+        print()
+        print(failure_timeline(tel, trace=trace, limit=args.timeline_limit))
+    return 0
+
+
+def _load_json(path: str):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except OSError as exc:
+        print(f"cannot read {path}: {exc.strerror}", file=sys.stderr)
+    except json.JSONDecodeError as exc:
+        print(f"{path} is not valid JSON: {exc}", file=sys.stderr)
+    return None
+
+
+def _validate(args: argparse.Namespace) -> int:
+    doc = _load_json(args.trace)
+    if doc is None:
+        return 2
+    problems = validate_chrome_trace(doc)
+    if problems:
+        for p in problems:
+            print(f"INVALID: {p}", file=sys.stderr)
+        return 1
+    n = len(doc.get("traceEvents", []))
+    print(f"{args.trace}: valid ({n} events)")
+    return 0
+
+
+def _diff(args: argparse.Namespace) -> int:
+    da = _load_json(args.a)
+    db = _load_json(args.b)
+    if da is None or db is None:
+        return 2
+    rows = diff_metrics(da, db)
+    if not rows:
+        print("metrics identical")
+        return 0
+    width = max(len(r[0]) for r in rows)
+    for name, va, vb in rows:
+        fa = "absent" if va is None else f"{va:g}"
+        fb = "absent" if vb is None else f"{vb:g}"
+        print(f"{name:<{width}}  {fa} -> {fb}")
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _run(args)
+    if args.command == "validate":
+        return _validate(args)
+    return _diff(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # output piped into e.g. `head`; exit quietly like other CLIs
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

@@ -1,0 +1,205 @@
+"""Span-based tracing over simulated time.
+
+A *span* is a named interval on a *source* track (``rank3``,
+``veloc.server0``, ``engine``); an *instant* is a zero-duration marker.
+Spans on the same source nest: the span open at entry time becomes the
+parent, giving the parent/child causality the Chrome trace viewer renders
+as stacked slices.  Spans opened across ``yield`` points in simulated
+processes close at the simulated time the block exits -- including
+unwinding through a failure (``FenixLongJump``, ``RankKilledError``),
+in which case the span records the exception type as its ``error``.
+
+The tracer reads time from a bound *clock* (any object with a ``now``
+attribute -- in practice :class:`repro.sim.engine.Engine`); nothing here
+imports the simulator, so the lowest layers can import this package
+without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass
+class SpanRecord:
+    """One closed-over interval (or instant, when ``end == start``)."""
+
+    sid: int
+    source: str
+    name: str
+    start: float
+    end: Optional[float] = None
+    parent: Optional[int] = None
+    fields: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+
+class _SpanHandle:
+    """Context manager for one span; re-entrant use is not supported."""
+
+    __slots__ = ("_tracer", "_source", "_name", "_fields", "record")
+
+    def __init__(self, tracer: "Tracer", source: str, name: str,
+                 fields: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._source = source
+        self._name = name
+        self._fields = fields
+        self.record: Optional[SpanRecord] = None
+
+    def __enter__(self) -> SpanRecord:
+        self.record = self._tracer._open(self._source, self._name, self._fields)
+        return self.record
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._close(self.record, exc_type)
+        return None  # never swallow
+
+
+class _NullSpan:
+    """Shared no-op context manager: the disabled-telemetry fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Records spans and instants against a simulated clock."""
+
+    def __init__(self, clock: Any = None) -> None:
+        self._clock = clock
+        self.spans: List[SpanRecord] = []
+        self.instants: List[SpanRecord] = []
+        self._stacks: Dict[str, List[SpanRecord]] = {}
+        self._next_id = 0
+
+    def bind(self, clock: Any) -> None:
+        """Attach the clock (the engine); idempotent."""
+        self._clock = clock
+
+    @property
+    def now(self) -> float:
+        return self._clock.now if self._clock is not None else 0.0
+
+    # -- recording ------------------------------------------------------
+
+    def span(self, source: str, name: str, **fields: Any) -> _SpanHandle:
+        """Open a span on ``source`` for the duration of a ``with`` block."""
+        return _SpanHandle(self, source, name, fields)
+
+    def instant(self, source: str, name: str, **fields: Any) -> SpanRecord:
+        """Record a zero-duration marker, parented to the open span."""
+        now = self.now
+        rec = SpanRecord(
+            sid=self._alloc_id(),
+            source=source,
+            name=name,
+            start=now,
+            end=now,
+            parent=self._parent_id(source),
+            fields=fields,
+        )
+        self.instants.append(rec)
+        return rec
+
+    def _alloc_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def _parent_id(self, source: str) -> Optional[int]:
+        stack = self._stacks.get(source)
+        return stack[-1].sid if stack else None
+
+    def _open(self, source: str, name: str, fields: Dict[str, Any]) -> SpanRecord:
+        rec = SpanRecord(
+            sid=self._alloc_id(),
+            source=source,
+            name=name,
+            start=self.now,
+            parent=self._parent_id(source),
+            fields=fields,
+        )
+        self.spans.append(rec)
+        self._stacks.setdefault(source, []).append(rec)
+        return rec
+
+    def _close(self, rec: Optional[SpanRecord], exc_type: Optional[type]) -> None:
+        if rec is None:  # pragma: no cover - enter never ran
+            return
+        rec.end = self.now
+        if exc_type is not None:
+            rec.error = exc_type.__name__
+        stack = self._stacks.get(rec.source)
+        # A killed process may leave descendants unclosed; closing a span
+        # closes everything above it on its source's stack at this time.
+        if stack and rec in stack:
+            while stack:
+                top = stack.pop()
+                if top.end is None:
+                    top.end = rec.end
+                    top.error = top.error or rec.error
+                if top is rec:
+                    break
+
+    # -- queries --------------------------------------------------------
+
+    def open_spans(self, source: Optional[str] = None) -> List[SpanRecord]:
+        if source is not None:
+            return list(self._stacks.get(source, []))
+        return [s for stack in self._stacks.values() for s in stack]
+
+    def all_records(self) -> Iterator[SpanRecord]:
+        yield from self.spans
+        yield from self.instants
+
+    def find(
+        self,
+        name: Optional[str] = None,
+        source: Optional[str] = None,
+        predicate: Optional[Callable[[SpanRecord], bool]] = None,
+    ) -> List[SpanRecord]:
+        out = []
+        for rec in self.all_records():
+            if name is not None and rec.name != name:
+                continue
+            if source is not None and rec.source != source:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def first(self, name: str, source: Optional[str] = None) -> Optional[SpanRecord]:
+        hits = self.find(name=name, source=source)
+        return min(hits, key=lambda r: (r.start, r.sid)) if hits else None
+
+    def sources(self) -> List[str]:
+        return sorted({r.source for r in self.all_records()})
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.instants.clear()
+        self._stacks.clear()
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.instants)

@@ -1,0 +1,102 @@
+"""Plain-text failure-timeline renderer.
+
+Interleaves span begins/ends, instants, and legacy trace records into one
+time-ordered listing -- the quickest way to answer "what happened, in
+what order, on which rank" after a failure-injection run without opening
+Perfetto.  ``only=`` narrows to resilience-relevant events (the default
+failure view used by the CLI's ``--timeline``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, Optional, Tuple
+
+#: event-name pattern covering the failure/recovery protocol across layers
+FAILURE_PATTERN = (
+    r"kill|killed|dead|crash|detect|revoke|shrink|agree|repair|role|spare|"
+    r"restart|recover|restore|recompute|abort|flush|drain|checkpoint|"
+    r"region|reset|submit"
+)
+
+
+def _rows(telemetry: Any, trace: Any) -> List[Tuple[float, int, str, str, str]]:
+    """(time, tiebreak, source, tag, text) rows, unsorted."""
+    rows: List[Tuple[float, int, str, str, str]] = []
+    tracer = telemetry.tracer
+    for rec in tracer.spans:
+        detail = _fields_text(rec.fields)
+        rows.append((rec.start, rec.sid * 2, rec.source, "+", rec.name
+                     + (f" {detail}" if detail else "")))
+        if rec.end is not None:
+            suffix = f" [{rec.end - rec.start:.6g}s]"
+            if rec.error:
+                suffix += f" !{rec.error}"
+            rows.append((rec.end, rec.sid * 2 + 1, rec.source, "-",
+                         rec.name + suffix))
+    for rec in tracer.instants:
+        detail = _fields_text(rec.fields)
+        rows.append((rec.start, rec.sid * 2, rec.source, "*", rec.name
+                     + (f" {detail}" if detail else "")))
+    if trace is not None:
+        for i, tr in enumerate(trace):
+            detail = _fields_text(tr.fields)
+            rows.append((tr.time, 10**9 + i, tr.source, ".", tr.kind
+                         + (f" {detail}" if detail else "")))
+    return rows
+
+
+def _fields_text(fields: dict) -> str:
+    if not fields:
+        return ""
+    parts = []
+    for k, v in fields.items():
+        if isinstance(v, float):
+            parts.append(f"{k}={v:.6g}")
+        else:
+            parts.append(f"{k}={v}")
+    return "(" + " ".join(parts) + ")"
+
+
+def render_timeline(
+    telemetry: Any,
+    trace: Any = None,
+    only: Optional[str] = None,
+    sources: Optional[List[str]] = None,
+    limit: Optional[int] = None,
+) -> str:
+    """Render the merged event stream as aligned text.
+
+    Args:
+        only: regex over event names (``FAILURE_PATTERN`` gives the
+            failure/recovery view); ``None`` keeps everything.
+        sources: restrict to these sources (exact match).
+        limit: keep only the first N lines after filtering.
+
+    Markers: ``+`` span begin, ``-`` span end (with duration), ``*``
+    telemetry instant, ``.`` legacy trace record.
+    """
+    rows = _rows(telemetry, trace)
+    if only is not None:
+        pat = re.compile(only)
+        rows = [r for r in rows if pat.search(r[4])]
+    if sources is not None:
+        allowed = set(sources)
+        rows = [r for r in rows if r[2] in allowed]
+    rows.sort(key=lambda r: (r[0], r[1]))
+    if limit is not None:
+        rows = rows[:limit]
+    if not rows:
+        return "(no events)"
+    src_width = max(len(r[2]) for r in rows)
+    lines = [f"{'time(s)':>14}  {'source':<{src_width}}  event"]
+    for time, _tb, source, tag, text in rows:
+        lines.append(f"{time:14.6f}  {source:<{src_width}}  {tag} {text}")
+    return "\n".join(lines)
+
+
+def failure_timeline(telemetry: Any, trace: Any = None,
+                     limit: Optional[int] = None) -> str:
+    """The resilience-protocol view: kills, revokes, repairs, recovery."""
+    return render_timeline(telemetry, trace=trace, only=FAILURE_PATTERN,
+                           limit=limit)

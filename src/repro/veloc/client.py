@@ -107,16 +107,23 @@ class VeloCClient:
         if not self._protected:
             raise VeloCError("checkpoint with no protected regions")
         engine = self.ctx.engine
+        tel = engine.telemetry
         t0 = engine.now
         total = self.protected_nbytes()
-        snapshot = {rid: view.copy_data() for rid, view in self._protected.items()}
-        yield engine.timeout(self.ctx.node.memcpy_time(total))
-        key = self._key(version)
-        self.ctx.node.scratch[key] = (snapshot, total)
-        self._gc_scratch(version)
-        if self.config.flush_to_pfs:
-            server = self.service.server_for(self.ctx.node)
-            self._flushes[int(version)] = server.submit(key, (snapshot, total), total)
+        with tel.span(f"veloc.rank{self.veloc_rank}", "veloc.checkpoint",
+                      version=int(version), nbytes=total):
+            snapshot = {
+                rid: view.copy_data() for rid, view in self._protected.items()
+            }
+            yield engine.timeout(self.ctx.node.memcpy_time(total))
+            key = self._key(version)
+            self.ctx.node.scratch[key] = (snapshot, total)
+            self._gc_scratch(version)
+            if self.config.flush_to_pfs:
+                server = self.service.server_for(self.ctx.node)
+                self._flushes[int(version)] = server.submit(
+                    key, (snapshot, total), total
+                )
         self.cluster.trace.emit(
             engine.now,
             f"veloc.rank{self.veloc_rank}",
@@ -124,7 +131,14 @@ class VeloCClient:
             version=int(version),
             nbytes=total,
         )
-        self.ctx.account.charge(CHECKPOINT_FUNCTION, engine.now - t0)
+        dt = engine.now - t0
+        self.ctx.account.charge(CHECKPOINT_FUNCTION, dt)
+        if tel.enabled:
+            rm = tel.rank_metrics(self.veloc_rank)
+            rm.inc("veloc.checkpoint.count")
+            rm.inc("veloc.checkpoint.bytes", total)
+            rm.observe("veloc.checkpoint.latency", dt)
+            rm.observe("veloc.checkpoint.nbytes", total)
 
     def _gc_scratch(self, latest_version: int) -> None:
         """Retain only the newest ``keep_versions`` scratch copies."""
@@ -206,34 +220,41 @@ class VeloCClient:
         reproducing the paper's asymmetric recovery costs.
         """
         engine = self.ctx.engine
+        tel = engine.telemetry
         t0 = engine.now
         key = self._key(version)
         bb = self.cluster.burst_buffer
-        if key in self.ctx.node.scratch:
-            snapshot, total = self.ctx.node.scratch[key]
-            yield engine.timeout(self.ctx.node.memcpy_time(total))
-            source = "scratch"
-        elif bb is not None and bb.exists(key):
-            snapshot, total = yield from bb.read(key, self.ctx.node)
-            self.ctx.node.scratch[key] = (snapshot, total)
-            source = "bb"
-        elif self.cluster.pfs.exists(key):
-            snapshot, total = yield from self.cluster.pfs.read(key, self.ctx.node)
-            # refill scratch so subsequent failures restore locally
-            self.ctx.node.scratch[key] = (snapshot, total)
-            source = "pfs"
-        else:
-            raise VeloCError(
-                f"rank {self.veloc_rank}: no checkpoint version {version}"
-            )
-        for rid, array in snapshot.items():
-            view = self._protected.get(rid)
-            if view is None:
-                raise VeloCError(
-                    f"rank {self.veloc_rank}: region {rid} in checkpoint "
-                    "but not protected"
+        with tel.span(f"veloc.rank{self.veloc_rank}", "veloc.recover",
+                      version=int(version)) as sp:
+            if key in self.ctx.node.scratch:
+                snapshot, total = self.ctx.node.scratch[key]
+                yield engine.timeout(self.ctx.node.memcpy_time(total))
+                source = "scratch"
+            elif bb is not None and bb.exists(key):
+                snapshot, total = yield from bb.read(key, self.ctx.node)
+                self.ctx.node.scratch[key] = (snapshot, total)
+                source = "bb"
+            elif self.cluster.pfs.exists(key):
+                snapshot, total = yield from self.cluster.pfs.read(
+                    key, self.ctx.node
                 )
-            view.load_data(array)
+                # refill scratch so subsequent failures restore locally
+                self.ctx.node.scratch[key] = (snapshot, total)
+                source = "pfs"
+            else:
+                raise VeloCError(
+                    f"rank {self.veloc_rank}: no checkpoint version {version}"
+                )
+            if sp is not None:
+                sp.fields["tier"] = source
+            for rid, array in snapshot.items():
+                view = self._protected.get(rid)
+                if view is None:
+                    raise VeloCError(
+                        f"rank {self.veloc_rank}: region {rid} in checkpoint "
+                        "but not protected"
+                    )
+                view.load_data(array)
         self.cluster.trace.emit(
             engine.now,
             f"veloc.rank{self.veloc_rank}",
@@ -241,4 +262,9 @@ class VeloCClient:
             version=int(version),
             tier=source,
         )
-        self.ctx.account.charge(DATA_RECOVERY, engine.now - t0)
+        dt = engine.now - t0
+        self.ctx.account.charge(DATA_RECOVERY, dt)
+        if tel.enabled:
+            rm = tel.rank_metrics(self.veloc_rank)
+            rm.inc(f"veloc.recover.{source}")
+            rm.observe("veloc.recover.latency", dt)

@@ -60,6 +60,12 @@ class VeloCServer:
         """Queue a flush; returns an event that succeeds when persisted."""
         done = self.engine.event(name=f"flush:{key}")
         self.queue.put(FlushJob(key=key, payload=payload, nbytes=nbytes, done=done))
+        tel = self.engine.telemetry
+        if tel.enabled:
+            src = f"veloc.server{self.node.index}"
+            tel.instant(src, "veloc.submit", key=str(key), nbytes=nbytes)
+            tel.set_gauge(f"{src}.backlog", self.backlog)
+            tel.observe("veloc.flush.backlog", self.backlog)
         return done
 
     @property
@@ -69,12 +75,18 @@ class VeloCServer:
     def _run(self):
         pfs = self.cluster.pfs
         bb = self.cluster.burst_buffer
+        src = f"veloc.server{self.node.index}"
         while True:
             job = yield from self.queue.get()
+            tel = self.engine.telemetry
             target = bb if self.use_burst_buffer else pfs
             self.node.active_flushes += 1
             try:
-                yield from target.write(job.key, job.payload, job.nbytes, self.node)
+                with tel.span(src, "veloc.flush",
+                              key=str(job.key), nbytes=job.nbytes):
+                    yield from target.write(
+                        job.key, job.payload, job.nbytes, self.node
+                    )
             finally:
                 self.node.active_flushes -= 1
             if self.use_burst_buffer:
@@ -83,12 +95,16 @@ class VeloCServer:
             self.bytes_flushed += job.nbytes
             self.cluster.trace.emit(
                 self.engine.now,
-                f"veloc.server{self.node.index}",
+                src,
                 "flush_done",
                 key=job.key,
                 nbytes=job.nbytes,
                 tier="bb" if self.use_burst_buffer else "pfs",
             )
+            if tel.enabled:
+                tel.inc("veloc.flush.bytes", job.nbytes)
+                tel.inc("veloc.flush.jobs")
+                tel.set_gauge(f"{src}.backlog", self.backlog)
             if not job.done.triggered:
                 job.done.succeed(None)
 
@@ -99,29 +115,36 @@ class VeloCServer:
 
         def drain():
             pfs = cluster.pfs
-            remaining = float(job.nbytes)
-            chunk_size = pfs.spec.chunk_bytes
-            while remaining > 0:
-                piece = min(remaining, chunk_size)
-                server = pfs._pick_server()
-                yield server.request_lock()
-                try:
-                    hold = server.latency + piece / server.bandwidth
-                    server.busy_time += hold
-                    server.bytes_moved += piece
-                    yield cluster.engine.timeout(hold)
-                finally:
-                    server.release_lock()
-                remaining -= piece
-            pfs._objects[job.key] = job.payload
-            pfs._sizes[job.key] = float(job.nbytes)
-            pfs.bytes_written += float(job.nbytes)
+            tel = cluster.engine.telemetry
+            # own track: the drain overlaps the server's next flush, and
+            # concurrent spans must not share one source's nesting stack
+            with tel.span(f"veloc.drain{self.node.index}", "veloc.drain",
+                          key=str(job.key), nbytes=job.nbytes):
+                remaining = float(job.nbytes)
+                chunk_size = pfs.spec.chunk_bytes
+                while remaining > 0:
+                    piece = min(remaining, chunk_size)
+                    server = pfs._pick_server()
+                    yield server.request_lock()
+                    try:
+                        hold = server.latency + piece / server.bandwidth
+                        server.busy_time += hold
+                        server.bytes_moved += piece
+                        yield cluster.engine.timeout(hold)
+                    finally:
+                        server.release_lock()
+                    remaining -= piece
+                pfs._objects[job.key] = job.payload
+                pfs._sizes[job.key] = float(job.nbytes)
+                pfs.bytes_written += float(job.nbytes)
             cluster.trace.emit(
                 cluster.engine.now,
                 f"veloc.server{self.node.index}",
                 "drain_done",
                 key=job.key,
             )
+            if tel.enabled:
+                tel.inc("veloc.drain.bytes", job.nbytes)
 
         cluster.engine.process(
             drain(), name=f"veloc.drain{self.node.index}", daemon=True

@@ -1,6 +1,9 @@
 """Trace recording tests."""
 
+import pytest
+
 from repro.sim import Trace
+from repro.util.errors import ConfigError
 
 
 def make_trace():
@@ -52,3 +55,63 @@ class TestTrace:
         rec = tr.first("detect")
         assert rec["rank"] == 1
         assert rec.fields == {"rank": 1}
+
+
+class TestRingBuffer:
+    def test_unbounded_by_default(self):
+        tr = Trace()
+        for i in range(1000):
+            tr.emit(float(i), "s", "k", i=i)
+        assert len(tr) == 1000
+        assert tr.dropped == 0
+
+    def test_bounded_keeps_newest(self):
+        tr = Trace(max_records=3)
+        for i in range(10):
+            tr.emit(float(i), "s", "k", i=i)
+        assert len(tr) == 3
+        assert [rec["i"] for rec in tr] == [7, 8, 9]
+
+    def test_dropped_counter(self):
+        tr = Trace(max_records=3)
+        for i in range(10):
+            tr.emit(float(i), "s", "k", i=i)
+        assert tr.dropped == 7
+
+    def test_no_drops_under_capacity(self):
+        tr = Trace(max_records=5)
+        tr.emit(0.0, "s", "k")
+        tr.emit(1.0, "s", "k")
+        assert tr.dropped == 0
+        assert len(tr) == 2
+
+    def test_clear_resets_dropped(self):
+        tr = Trace(max_records=1)
+        tr.emit(0.0, "s", "k")
+        tr.emit(1.0, "s", "k")
+        assert tr.dropped == 1
+        tr.clear()
+        assert tr.dropped == 0
+        assert len(tr) == 0
+
+    def test_disabled_bounded_trace_records_nothing(self):
+        tr = Trace(enabled=False, max_records=2)
+        for i in range(5):
+            tr.emit(float(i), "s", "k")
+        assert len(tr) == 0
+        assert tr.dropped == 0
+
+    def test_invalid_max_records(self):
+        with pytest.raises(ConfigError):
+            Trace(max_records=0)
+        with pytest.raises(ConfigError):
+            Trace(max_records=-5)
+
+    def test_queries_see_only_retained(self):
+        tr = Trace(max_records=2)
+        tr.emit(0.0, "s", "old")
+        tr.emit(1.0, "s", "new")
+        tr.emit(2.0, "s", "newer")
+        assert tr.first("old") is None
+        assert tr.count("new") == 1
+        assert tr.last("newer") is not None

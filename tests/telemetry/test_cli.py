@@ -1,0 +1,68 @@
+"""CLI tests: run/validate/diff subcommands exercised in-process."""
+
+import json
+
+import pytest
+
+from repro.telemetry.__main__ import main
+
+
+class TestRunCommand:
+    def test_run_exports_valid_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "run1"
+        rc = main([
+            "run", "--app", "heatdis", "--strategy", "fenix_veloc",
+            "--ranks", "4", "--iters", "20", "--interval", "10",
+            "--bytes", "4e6", "--kill-rank", "2",
+            "--out", str(out), "--timeline",
+        ])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "wall=" in captured
+        assert "rank_killed" in captured  # timeline printed
+        trace = json.loads((out / "trace.json").read_text())
+        assert trace["traceEvents"]
+        metrics = json.loads((out / "metrics.json").read_text())
+        assert metrics["merged"]["counters"]["mpi.ranks_died"] == 1
+        assert metrics["run"]["strategy"] == "fenix_veloc"
+
+    def test_unknown_strategy_rejected(self, tmp_path, capsys):
+        rc = main(["run", "--strategy", "nope", "--out", str(tmp_path)])
+        assert rc == 2
+        assert "unknown strategy" in capsys.readouterr().err
+
+
+class TestValidateCommand:
+    def test_valid_file(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps({"traceEvents": []}))
+        assert main(["validate", str(path)]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_invalid_file(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps({"traceEvents": [{"ph": "Q"}]}))
+        assert main(["validate", str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+
+class TestDiffCommand:
+    def _write(self, path, counters):
+        doc = {"merged": {"counters": counters, "gauges": {},
+                          "histograms": {}}}
+        path.write_text(json.dumps(doc))
+
+    def test_identical(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        self._write(a, {"x": 1.0})
+        assert main(["diff", str(a), str(a)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_differing(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write(a, {"x": 1.0})
+        self._write(b, {"x": 2.0, "y": 5.0})
+        assert main(["diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "counter:x" in out
+        assert "absent -> 5" in out

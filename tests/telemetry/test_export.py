@@ -1,0 +1,195 @@
+"""Exporter tests: Chrome trace-event JSON, validator, timeline text."""
+
+import json
+
+from repro.sim.trace import Trace
+from repro.telemetry.collector import Telemetry
+from repro.telemetry.export import (
+    chrome_trace_events,
+    diff_metrics,
+    metrics_to_dict,
+    to_chrome_trace,
+    track_for_source,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.telemetry.timeline import failure_timeline, render_timeline
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+
+def make_telemetry():
+    tel = Telemetry(enabled=True)
+    clock = FakeClock()
+    tel.bind(clock)
+    with tel.span("rank0", "veloc.checkpoint", version=1):
+        clock.now = 0.5
+    tel.instant("rank1", "rank_killed")
+    clock.now = 1.0
+    with tel.span("rank1", "recompute", iteration=7):
+        clock.now = 2.0
+    return tel, clock
+
+
+class TestTrackFolding:
+    def test_rank_sources_fold(self):
+        assert track_for_source("veloc.rank3") == "rank3"
+        assert track_for_source("imr.rank12") == "rank12"
+        assert track_for_source("kr.rank0") == "rank0"
+        assert track_for_source("rank4") == "rank4"
+
+    def test_non_rank_sources_untouched(self):
+        assert track_for_source("fenix") == "fenix"
+        assert track_for_source("veloc.server2") == "veloc.server2"
+        assert track_for_source("engine") == "engine"
+
+
+class TestChromeExport:
+    def test_metadata_names_tracks(self):
+        tel, _ = make_telemetry()
+        events = chrome_trace_events(tel)
+        names = [e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert names == ["rank0", "rank1"]
+
+    def test_span_becomes_complete_event(self):
+        tel, _ = make_telemetry()
+        events = chrome_trace_events(tel)
+        xs = [e for e in events if e["ph"] == "X"]
+        ckpt = next(e for e in xs if e["name"] == "veloc.checkpoint")
+        assert ckpt["ts"] == 0.0
+        assert ckpt["dur"] == 0.5e6  # seconds -> microseconds
+        assert ckpt["args"]["version"] == 1
+
+    def test_instant_event(self):
+        tel, _ = make_telemetry()
+        events = chrome_trace_events(tel)
+        kill = next(e for e in events if e["name"] == "rank_killed")
+        assert kill["ph"] == "i"
+        assert kill["s"] == "t"
+
+    def test_unterminated_span_extends_to_end(self):
+        tel = Telemetry(enabled=True)
+        clock = FakeClock()
+        tel.bind(clock)
+        tel.span("rank0", "hung").__enter__()  # never exited
+        clock.now = 4.0
+        tel.instant("rank0", "late")
+        events = chrome_trace_events(tel)
+        hung = next(e for e in events if e["name"] == "hung")
+        assert hung["dur"] == 4.0e6
+        assert hung["args"]["unterminated"] is True
+
+    def test_legacy_trace_records_included(self):
+        tel, _ = make_telemetry()
+        trace = Trace()
+        trace.emit(0.25, "veloc.rank0", "checkpoint", version=1)
+        events = chrome_trace_events(tel, trace=trace)
+        legacy = [e for e in events if e.get("cat") == "trace"]
+        assert len(legacy) == 1
+        # folded onto rank0's track
+        rank0_tid = next(
+            e["tid"] for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+            and e["args"]["name"] == "rank0"
+        )
+        assert legacy[0]["tid"] == rank0_tid
+
+    def test_document_round_trips_and_validates(self, tmp_path):
+        tel, _ = make_telemetry()
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(path, tel, run_info={"app": "test"})
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert validate_chrome_trace(doc) == []
+        assert doc["otherData"]["app"] == "test"
+
+    def test_non_serializable_fields_coerced(self, tmp_path):
+        tel = Telemetry(enabled=True)
+        tel.bind(FakeClock())
+        tel.instant("rank0", "e", key=("veloc", 3), data={1: {2, 3}})
+        doc = to_chrome_trace(tel)
+        json.dumps(doc)  # must not raise
+
+
+class TestValidator:
+    def test_accepts_own_output(self):
+        tel, _ = make_telemetry()
+        assert validate_chrome_trace(to_chrome_trace(tel)) == []
+
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([1, 2]) != []
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({}) == ["missing or non-list 'traceEvents'"]
+
+    def test_rejects_bad_phase(self):
+        doc = {"traceEvents": [{"ph": "Z", "name": "x", "pid": 0, "tid": 0}]}
+        assert any("bad phase" in e for e in validate_chrome_trace(doc))
+
+    def test_rejects_complete_without_dur(self):
+        doc = {"traceEvents": [
+            {"ph": "X", "name": "x", "pid": 0, "tid": 0, "ts": 1.0}
+        ]}
+        assert any("dur" in e for e in validate_chrome_trace(doc))
+
+    def test_rejects_instant_without_scope(self):
+        doc = {"traceEvents": [
+            {"ph": "i", "name": "x", "pid": 0, "tid": 0, "ts": 1.0}
+        ]}
+        assert any("scope" in e for e in validate_chrome_trace(doc))
+
+
+class TestTimeline:
+    def test_renders_rows_in_time_order(self):
+        tel, _ = make_telemetry()
+        text = render_timeline(tel)
+        lines = text.splitlines()
+        assert "event" in lines[0]
+        body = lines[1:]
+        times = [float(line.split()[0]) for line in body]
+        assert times == sorted(times)
+        assert any("+ veloc.checkpoint" in line for line in body)
+        assert any("- recompute" in line for line in body)
+
+    def test_failure_filter(self):
+        tel, clock = make_telemetry()
+        tel.instant("rank0", "unrelated_marker")
+        text = failure_timeline(tel)
+        assert "rank_killed" in text
+        assert "unrelated_marker" not in text
+
+    def test_sources_and_limit(self):
+        tel, _ = make_telemetry()
+        text = render_timeline(tel, sources=["rank1"], limit=1)
+        body = text.splitlines()[1:]
+        assert len(body) == 1
+        assert "rank1" in body[0]
+
+    def test_empty(self):
+        tel = Telemetry(enabled=True)
+        assert render_timeline(tel) == "(no events)"
+
+
+class TestMetricsExport:
+    def test_diff_detects_changes(self):
+        a = Telemetry(enabled=True)
+        b = Telemetry(enabled=True)
+        a.inc("x", 1)
+        b.inc("x", 2)
+        b.set_gauge("g", 5)
+        rows = diff_metrics(metrics_to_dict(a), metrics_to_dict(b))
+        keys = [r[0] for r in rows]
+        assert "counter:x" in keys
+        assert "gauge:g.high" in keys
+        absent = next(r for r in rows if r[0] == "gauge:g.high")
+        assert absent[1] is None and absent[2] == 5.0
+
+    def test_diff_identical_is_empty(self):
+        a = Telemetry(enabled=True)
+        a.inc("x", 1)
+        doc = metrics_to_dict(a)
+        assert diff_metrics(doc, doc) == []

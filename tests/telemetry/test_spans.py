@@ -1,0 +1,155 @@
+"""Tracer/span tests: nesting, error capture, the disabled fast path."""
+
+from repro.telemetry.collector import NULL_TELEMETRY, Telemetry
+from repro.telemetry.spans import NULL_SPAN, Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+
+class TestSpans:
+    def test_span_records_times(self):
+        clock = FakeClock()
+        tr = Tracer(clock)
+        with tr.span("rank0", "work"):
+            clock.now = 2.5
+        rec = tr.first("work")
+        assert rec.start == 0.0
+        assert rec.end == 2.5
+        assert rec.duration == 2.5
+        assert not rec.open
+
+    def test_nesting_sets_parent(self):
+        clock = FakeClock()
+        tr = Tracer(clock)
+        with tr.span("rank0", "outer"):
+            with tr.span("rank0", "inner"):
+                pass
+        outer = tr.first("outer")
+        inner = tr.first("inner")
+        assert inner.parent == outer.sid
+        assert outer.parent is None
+
+    def test_sibling_sources_do_not_nest(self):
+        tr = Tracer(FakeClock())
+        with tr.span("rank0", "a"):
+            with tr.span("rank1", "b"):
+                pass
+        assert tr.first("b").parent is None
+
+    def test_instant_parents_to_open_span(self):
+        tr = Tracer(FakeClock())
+        with tr.span("rank0", "outer"):
+            inst = tr.instant("rank0", "marker", key=1)
+        assert inst.parent == tr.first("outer").sid
+        assert inst.start == inst.end
+
+    def test_error_capture(self):
+        clock = FakeClock()
+        tr = Tracer(clock)
+        try:
+            with tr.span("rank0", "doomed"):
+                clock.now = 1.0
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        rec = tr.first("doomed")
+        assert rec.error == "ValueError"
+        assert rec.end == 1.0
+
+    def test_kill_closes_orphaned_children(self):
+        """Closing an outer span force-closes descendants a killed
+        process never unwound."""
+        clock = FakeClock()
+        tr = Tracer(clock)
+        outer = tr.span("rank0", "outer")
+        inner = tr.span("rank0", "inner")
+        outer.__enter__()
+        inner.__enter__()
+        clock.now = 3.0
+        # simulate the unwind skipping inner's __exit__
+        outer.__exit__(RuntimeError, RuntimeError("killed"), None)
+        assert tr.first("inner").end == 3.0
+        assert tr.first("inner").error == "RuntimeError"
+        assert tr.open_spans("rank0") == []
+
+    def test_find_and_sources(self):
+        tr = Tracer(FakeClock())
+        with tr.span("rank0", "x", version=1):
+            pass
+        tr.instant("mpi", "revoke")
+        assert len(tr.find(name="x")) == 1
+        assert tr.find(source="mpi")[0].name == "revoke"
+        assert tr.sources() == ["mpi", "rank0"]
+        assert len(tr) == 2
+
+    def test_unbound_clock_reads_zero(self):
+        tr = Tracer()
+        assert tr.now == 0.0
+
+
+class TestTelemetryFacade:
+    def test_disabled_span_is_shared_null(self):
+        tel = Telemetry(enabled=False)
+        assert tel.span("rank0", "x") is NULL_SPAN
+        assert tel.span("rank1", "y") is NULL_SPAN
+        with tel.span("rank0", "x"):
+            pass
+        assert len(tel.tracer) == 0
+
+    def test_disabled_metrics_record_nothing(self):
+        tel = Telemetry(enabled=False)
+        tel.inc("a")
+        tel.set_gauge("b", 1)
+        tel.observe("c", 1.0)
+        tel.instant("rank0", "e")
+        assert len(tel.metrics) == 0
+        assert len(tel.tracer) == 0
+
+    def test_null_telemetry_is_disabled(self):
+        assert NULL_TELEMETRY.enabled is False
+
+    def test_enabled_records(self):
+        tel = Telemetry(enabled=True)
+        clock = FakeClock()
+        tel.bind(clock)
+        with tel.span("rank0", "work", version=3):
+            clock.now = 1.0
+        tel.inc("events")
+        assert tel.tracer.first("work")["version"] == 3
+        assert tel.metrics.counter("events").value == 1
+
+    def test_rank_metrics_merge(self):
+        tel = Telemetry(enabled=True)
+        tel.rank_metrics(0).inc("bytes", 10)
+        tel.rank_metrics(1).inc("bytes", 20)
+        tel.inc("revokes", 1)
+        merged = tel.merged_metrics()
+        assert merged.counter("bytes").value == 30
+        assert merged.counter("revokes").value == 1
+
+    def test_reset_rank(self):
+        tel = Telemetry(enabled=True)
+        tel.rank_metrics(0).inc("bytes", 10)
+        tel.reset_rank(0)
+        assert tel.rank_metrics(0).counter("bytes").value == 0.0
+
+    def test_metrics_summary_shape(self):
+        tel = Telemetry(enabled=True)
+        tel.rank_metrics(2).inc("x")
+        summary = tel.metrics_summary()
+        assert set(summary) == {"merged", "job", "ranks"}
+        assert "2" in summary["ranks"]
+
+    def test_clear(self):
+        tel = Telemetry(enabled=True)
+        tel.bind(FakeClock())
+        tel.instant("rank0", "e")
+        tel.inc("c")
+        tel.rank_metrics(0).inc("d")
+        tel.clear()
+        assert len(tel.tracer) == 0
+        assert tel.metrics.counter("c").value == 0.0
+        assert tel.ranks == {}

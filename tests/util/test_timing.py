@@ -90,3 +90,86 @@ class TestMerge:
         snap = acct.snapshot()
         acct.charge("compute", 1.0)
         assert snap[APP_COMPUTE] == 1.0
+
+
+class TestRecomputeNesting:
+    """Labels nested under ``recompute`` (MiniMD's phase labels override
+    the recompute label; plain charges stay in recompute)."""
+
+    def test_phase_label_under_recompute_wins(self):
+        acct = TimeAccount()
+        with acct.label(RECOMPUTE):
+            with acct.label("force_compute"):
+                acct.charge("compute", 2.0)
+            with acct.label("neighboring"):
+                acct.charge("compute", 0.5)
+            acct.charge("mpi", 1.0)
+        assert acct.get("force_compute") == 2.0
+        assert acct.get("neighboring") == 0.5
+        assert acct.get(RECOMPUTE) == 1.0
+        assert acct.get(APP_COMPUTE) == 0.0
+        assert acct.get(APP_MPI) == 0.0
+
+    def test_recompute_restored_after_inner_exits(self):
+        acct = TimeAccount()
+        with acct.label(RECOMPUTE):
+            with acct.label(CHECKPOINT_FUNCTION):
+                acct.charge("compute", 1.0)
+            assert acct.active_label == RECOMPUTE
+            acct.charge("compute", 3.0)
+        assert acct.active_label is None
+        assert acct.get(RECOMPUTE) == 3.0
+        assert acct.get(CHECKPOINT_FUNCTION) == 1.0
+
+    def test_recompute_restored_after_inner_exception(self):
+        acct = TimeAccount()
+        with acct.label(RECOMPUTE):
+            with pytest.raises(RuntimeError):
+                with acct.label("force_compute"):
+                    raise RuntimeError
+            assert acct.active_label == RECOMPUTE
+        assert acct.active_label is None
+
+    def test_reentrant_recompute_label(self):
+        acct = TimeAccount()
+        with acct.label(RECOMPUTE):
+            with acct.label(RECOMPUTE):
+                acct.charge("compute", 1.0)
+            acct.charge("compute", 1.0)
+        assert acct.get(RECOMPUTE) == 2.0
+
+
+class TestMergeIdempotence:
+    def test_merge_max_idempotent(self):
+        a, b = TimeAccount(), TimeAccount()
+        a.charge("compute", 1.0)
+        b.charge("compute", 3.0)
+        b.charge("mpi", 1.0)
+        a.merge_max(b)
+        first = a.snapshot()
+        a.merge_max(b)
+        assert a.snapshot() == first
+
+    def test_merge_max_with_self_is_identity(self):
+        a = TimeAccount()
+        a.charge("compute", 2.0)
+        a.charge("mpi", 1.0)
+        before = a.snapshot()
+        a.merge_max(a)
+        assert a.snapshot() == before
+
+    def test_merge_sum_accumulates_not_idempotent(self):
+        a, b = TimeAccount(), TimeAccount()
+        a.charge("compute", 1.0)
+        b.charge("compute", 2.0)
+        a.merge_sum(b)
+        a.merge_sum(b)
+        assert a.get(APP_COMPUTE) == 5.0
+
+    def test_merge_empty_is_noop(self):
+        a = TimeAccount()
+        a.charge("compute", 1.0)
+        before = a.snapshot()
+        a.merge_max(TimeAccount())
+        a.merge_sum(TimeAccount())
+        assert a.snapshot() == before
