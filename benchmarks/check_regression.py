@@ -1,0 +1,67 @@
+"""Compare a pytest-benchmark JSON run against a committed baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py BASELINE.json NEW.json [--max-regression 0.30]
+
+Exits non-zero if any benchmark present in both files regressed (mean
+time grew) by more than the threshold.  Benchmarks only in one file are
+reported but don't fail the check, so adding a benchmark never blocks
+the PR that introduces it.  Machine-to-machine variance is why the
+default gate is a generous 30%: the job catches order-of-magnitude
+mistakes (an accidentally quadratic path, a lost fast path), not noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_means(path: str) -> dict:
+    with open(path) as fh:
+        doc = json.load(fh)
+    return {b["name"]: b["stats"]["mean"] for b in doc["benchmarks"]}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("new")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="allowed fractional mean-time growth "
+                             "(default 0.30 = 30%%)")
+    args = parser.parse_args(argv)
+
+    base = load_means(args.baseline)
+    new = load_means(args.new)
+    failures = []
+    for name in sorted(set(base) | set(new)):
+        if name not in base:
+            print(f"  NEW      {name}: {new[name] * 1e3:.2f} ms (no baseline)")
+            continue
+        if name not in new:
+            print(f"  MISSING  {name}: present only in baseline")
+            continue
+        ratio = new[name] / base[name]
+        status = "ok"
+        if ratio > 1.0 + args.max_regression:
+            status = "REGRESSED"
+            failures.append(name)
+        print(
+            f"  {status:<9}{name}: {base[name] * 1e3:.2f} ms -> "
+            f"{new[name] * 1e3:.2f} ms ({ratio:.1%} of baseline)"
+        )
+    if failures:
+        print(
+            f"\n{len(failures)} benchmark(s) regressed more than "
+            f"{args.max_regression:.0%}: {', '.join(failures)}"
+        )
+        return 1
+    print("\nno benchmark regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

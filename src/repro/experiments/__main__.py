@@ -2,11 +2,16 @@
 
 Usage::
 
-    python -m repro.experiments [fig5|fig6|fig7|partial|complexity|all]
+    python -m repro.experiments
+        [fig5|fig6|fig7|partial|complexity|campaign|all]
         [--ranks N] [--full-scale]
+        [--jobs N] [--no-cache] [--cache-dir DIR] [--max-records N]
 
 Prints each figure's table (the same rows the benchmark suite writes to
-``results/``).
+``results/``).  Sweeps fan out over ``--jobs`` worker processes and are
+served from the content-addressed run cache under ``results/cache/``
+unless ``--no-cache`` is given; cached and parallel results are
+bit-identical to a fresh sequential run.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.experiments.campaign import format_campaign, run_campaign
 from repro.experiments.complexity import analyze_complexity, format_complexity
 from repro.experiments.fig5_heatdis import (
     format_fig5,
@@ -23,29 +29,39 @@ from repro.experiments.fig5_heatdis import (
 from repro.experiments.fig6_minimd import format_fig6, run_fig6_weak_scaling
 from repro.experiments.fig7_views import format_fig7, run_fig7_census
 from repro.experiments.partial_rollback import run_partial_rollback_comparison
+from repro.parallel import DEFAULT_TRACE_MAX_RECORDS, RunCache
+
+
+def _cache(args) -> "RunCache | None":
+    if args.no_cache:
+        return None
+    return RunCache(args.cache_dir)
 
 
 def _fig5(args) -> None:
     ranks = args.ranks or (64 if args.full_scale else 8)
     print(format_fig5(
-        run_fig5_data_scaling(n_ranks=ranks),
+        run_fig5_data_scaling(n_ranks=ranks, jobs=args.jobs,
+                              cache=_cache(args)),
         title=f"Figure 5 (left): data scaling at {ranks} ranks",
     ))
     nodes = [4, 16, 64] if args.full_scale else [2, 4, 8]
     print()
     print(format_fig5(
-        run_fig5_weak_scaling(nodes=nodes),
+        run_fig5_weak_scaling(nodes=nodes, jobs=args.jobs,
+                              cache=_cache(args)),
         title="Figure 5 (right): weak scaling at 1GB/node",
     ))
 
 
 def _fig6(args) -> None:
     ranks = [8, 27, 64] if args.full_scale else [4, 8]
-    print(format_fig6(run_fig6_weak_scaling(ranks=ranks)))
+    print(format_fig6(run_fig6_weak_scaling(ranks=ranks, jobs=args.jobs,
+                                            cache=_cache(args))))
 
 
-def _fig7(_args) -> None:
-    print(format_fig7(run_fig7_census()))
+def _fig7(args) -> None:
+    print(format_fig7(run_fig7_census(jobs=args.jobs)))
 
 
 def _partial(args) -> None:
@@ -60,12 +76,23 @@ def _complexity(_args) -> None:
     print(format_complexity(analyze_complexity()))
 
 
+def _campaign(args) -> None:
+    study = run_campaign(
+        n_ranks=args.ranks or 8,
+        jobs=args.jobs,
+        cache=_cache(args),
+        trace_max_records=args.max_records,
+    )
+    print(format_campaign(study))
+
+
 COMMANDS = {
     "fig5": _fig5,
     "fig6": _fig6,
     "fig7": _fig7,
     "partial": _partial,
     "complexity": _complexity,
+    "campaign": _campaign,
 }
 
 
@@ -80,6 +107,18 @@ def main(argv=None) -> int:
                         help="override the rank count")
     parser.add_argument("--full-scale", action="store_true",
                         help="use the paper's node counts (slower)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for sweep cells "
+                             "(0 = one per CPU; default 1 = sequential)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always re-simulate; ignore the run cache")
+    parser.add_argument("--cache-dir", default="results/cache",
+                        help="run-cache directory (default results/cache)")
+    parser.add_argument("--max-records", type=int,
+                        default=DEFAULT_TRACE_MAX_RECORDS, metavar="N",
+                        help="Trace ring-buffer size for telemetered sweep "
+                             "runs (default %(default)s; keeps multi-hour "
+                             "campaigns at bounded memory)")
     args = parser.parse_args(argv)
     targets = list(COMMANDS) if args.what == "all" else [args.what]
     for i, name in enumerate(targets):

@@ -9,6 +9,11 @@ of failures rather than one.
 
 The headline quantity is *efficiency*: ideal (failure-free, no-resilience)
 wall time divided by achieved wall time.
+
+Campaign cells are independent simulations, so the strategy sweep runs
+through :mod:`repro.parallel` -- fan out over worker processes with
+``jobs``, skip unchanged cells with the run cache -- with results
+bit-identical to a sequential in-process run.
 """
 
 from __future__ import annotations
@@ -18,10 +23,18 @@ from typing import List, Optional
 
 from repro.apps import HeatdisConfig
 from repro.experiments.common import paper_env
-from repro.harness import RunReport, run_heatdis_job
-from repro.sim import ExponentialFailures
+from repro.harness import RunReport
+from repro.parallel import (
+    DEFAULT_TRACE_MAX_RECORDS,
+    CellSpec,
+    PlanSpec,
+    RunCache,
+    run_cells,
+)
 
 CKPT_INTERVAL = 9
+
+DEFAULT_STRATEGIES = ["kr_veloc", "fenix_kr_veloc"]
 
 
 @dataclass
@@ -40,17 +53,20 @@ class CampaignStudy:
     ideal_wall: float
     results: List[CampaignResult]
 
-    def efficiency(self, strategy: str) -> float:
-        for r in self.results:
-            if r.strategy == strategy:
-                return self.ideal_wall / r.wall_time
-        raise KeyError(strategy)
-
-    def result(self, strategy: str) -> CampaignResult:
+    def _lookup(self, strategy: str) -> CampaignResult:
         for r in self.results:
             if r.strategy == strategy:
                 return r
-        raise KeyError(strategy)
+        known = sorted(r.strategy for r in self.results)
+        raise KeyError(
+            f"unknown strategy {strategy!r}; this study ran {known}"
+        )
+
+    def efficiency(self, strategy: str) -> float:
+        return self.ideal_wall / self._lookup(strategy).wall_time
+
+    def result(self, strategy: str) -> CampaignResult:
+        return self._lookup(strategy)
 
 
 def run_campaign(
@@ -61,32 +77,63 @@ def run_campaign(
     strategies: Optional[List[str]] = None,
     n_spares: int = 4,
     max_failures: int = 3,
+    jobs: int = 1,
+    cache: Optional[RunCache] = None,
+    telemetry: bool = False,
+    trace_max_records: Optional[int] = DEFAULT_TRACE_MAX_RECORDS,
 ) -> CampaignStudy:
     """Run the campaign; by default the MTBF is chosen so a handful of
-    failures strike during the job."""
+    failures strike during the job.
+
+    ``jobs`` fans the strategy cells out across worker processes;
+    ``cache`` (a :class:`~repro.parallel.RunCache`) skips cells whose
+    (config, seed, code) content address already has a stored report.
+    Telemetered campaign runs default to Trace ring-buffer mode
+    (``trace_max_records``) so long sweeps keep bounded memory.
+    """
     cfg = HeatdisConfig(
         local_rows=8, cols=16, modeled_bytes_per_rank=256e6,
         n_iters=n_iters, work_multiplier=2000.0,
     )
-    ideal = run_heatdis_job(
-        paper_env(n_ranks + n_spares, pfs_servers=1), "none", n_ranks, cfg,
-        CKPT_INTERVAL,
-    )
+
+    def cell(strategy: str, plan: PlanSpec, spares: int) -> CellSpec:
+        return CellSpec(
+            app="heatdis",
+            strategy=strategy,
+            n_ranks=n_ranks,
+            config=cfg,
+            ckpt_interval=CKPT_INTERVAL,
+            env=paper_env(n_ranks + n_spares, n_spares=spares, pfs_servers=1),
+            plan=plan,
+            telemetry=telemetry,
+            trace_max_records=trace_max_records,
+            label=strategy,
+        )
+
+    # the ideal run calibrates the MTBF, so it must complete first; it is
+    # itself one (cacheable) cell
+    ideal = run_cells(
+        [cell("none", PlanSpec.none(), spares=1)], jobs=1, cache=cache
+    )[0].report
     if mtbf_per_rank is None:
         # target ~max_failures failures over the ideal runtime
         mtbf_per_rank = ideal.wall_time * n_ranks / max_failures
-    results = []
-    for strategy in strategies or ["kr_veloc", "fenix_kr_veloc"]:
-        plan = ExponentialFailures(
-            mtbf_per_rank, seed=seed, max_failures=max_failures
+
+    specs = [
+        cell(
+            strategy,
+            PlanSpec.exponential(mtbf_per_rank, seed=seed,
+                                 max_failures=max_failures),
+            spares=n_spares,
         )
-        env = paper_env(n_ranks + n_spares, n_spares=n_spares, pfs_servers=1)
-        report = run_heatdis_job(env, strategy, n_ranks, cfg, CKPT_INTERVAL,
-                                 plan=plan)
-        results.append(
-            CampaignResult(strategy=strategy, report=report,
-                           failures=plan.fired)
-        )
+        for strategy in strategies or DEFAULT_STRATEGIES
+    ]
+    executed = run_cells(specs, jobs=jobs, cache=cache)
+    results = [
+        CampaignResult(strategy=res.spec.strategy, report=res.report,
+                       failures=res.failures)
+        for res in executed
+    ]
     return CampaignStudy(ideal_wall=ideal.wall_time, results=results)
 
 

@@ -15,12 +15,12 @@ category accounting plus the ``time mpirun`` wall clock.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.apps import HeatdisConfig
-from repro.harness import RunReport, run_heatdis_job
+from repro.harness import RunReport
 from repro.experiments.common import paper_env
-from repro.sim import IterationFailure
+from repro.parallel import CellSpec, PlanSpec, RunCache, run_cells
 from repro.util.units import parse_size
 
 #: the strategy columns of Figure 5
@@ -78,6 +78,61 @@ def _heat_cfg(data_bytes: float, jitter: float = 0.05) -> HeatdisConfig:
     )
 
 
+def _cell_specs(
+    strategy: str,
+    data_bytes: float,
+    n_ranks: int,
+    with_failure: bool,
+    victim: int,
+    pfs_servers: int,
+) -> List[CellSpec]:
+    """The clean (and, when applicable, failing) specs of one figure cell."""
+    cfg = _heat_cfg(data_bytes)
+
+    def spec(plan: PlanSpec, tag: str) -> CellSpec:
+        return CellSpec(
+            app="heatdis",
+            strategy=strategy,
+            n_ranks=n_ranks,
+            config=cfg,
+            ckpt_interval=CKPT_INTERVAL,
+            env=paper_env(n_nodes=n_ranks + 1, pfs_servers=pfs_servers),
+            plan=plan,
+            label=tag,
+        )
+
+    specs = [spec(PlanSpec.none(), "clean")]
+    if with_failure and strategy != "none":
+        specs.append(
+            spec(
+                PlanSpec.between_checkpoints(
+                    victim, CKPT_INTERVAL, FAIL_AFTER_CKPT, fraction=0.95
+                ),
+                "failed",
+            )
+        )
+    return specs
+
+
+def _assemble_cells(
+    keys: List[Tuple[str, float, int]],
+    spec_groups: List[List[CellSpec]],
+    jobs: int,
+    cache: Optional[RunCache],
+) -> List[Fig5Cell]:
+    """Flatten spec groups, execute once, regroup into figure cells."""
+    flat = [s for group in spec_groups for s in group]
+    executed = iter(run_cells(flat, jobs=jobs, cache=cache))
+    cells = []
+    for (strategy, data_bytes, n_ranks), group in zip(keys, spec_groups):
+        reports = {s.label: next(executed).report for s in group}
+        cells.append(
+            Fig5Cell(strategy, data_bytes, n_ranks,
+                     reports["clean"], reports.get("failed"))
+        )
+    return cells
+
+
 def run_fig5_cell(
     strategy: str,
     data_bytes: "float | str",
@@ -88,18 +143,11 @@ def run_fig5_cell(
 ) -> Fig5Cell:
     """Run one Figure-5 cell (a clean run and optionally a failing run)."""
     data_bytes = parse_size(data_bytes)
-    cfg = _heat_cfg(data_bytes)
-    env = paper_env(n_nodes=n_ranks + 1, pfs_servers=pfs_servers)
-    clean = run_heatdis_job(env, strategy, n_ranks, cfg, CKPT_INTERVAL)
-    failed = None
-    if with_failure and strategy != "none":
-        plan = IterationFailure.between_checkpoints(
-            victim, CKPT_INTERVAL, FAIL_AFTER_CKPT, fraction=0.95
-        )
-        env2 = paper_env(n_nodes=n_ranks + 1, pfs_servers=pfs_servers)
-        failed = run_heatdis_job(env2, strategy, n_ranks, cfg, CKPT_INTERVAL,
-                                 plan=plan)
-    return Fig5Cell(strategy, data_bytes, n_ranks, clean, failed)
+    specs = _cell_specs(strategy, data_bytes, n_ranks, with_failure, victim,
+                        pfs_servers)
+    return _assemble_cells(
+        [(strategy, data_bytes, n_ranks)], [specs], jobs=1, cache=None
+    )[0]
 
 
 def run_fig5_data_scaling(
@@ -107,13 +155,20 @@ def run_fig5_data_scaling(
     sizes: Optional[List[str]] = None,
     strategies: Optional[List[str]] = None,
     with_failure: bool = True,
+    jobs: int = 1,
+    cache: Optional[RunCache] = None,
 ) -> List[Fig5Cell]:
     """The left panel: data scaling at fixed node count."""
-    out = []
+    keys, groups = [], []
     for size in sizes or DATA_SIZES:
         for strategy in strategies or FIG5_STRATEGIES:
-            out.append(run_fig5_cell(strategy, size, n_ranks, with_failure))
-    return out
+            data_bytes = parse_size(size)
+            keys.append((strategy, data_bytes, n_ranks))
+            groups.append(
+                _cell_specs(strategy, data_bytes, n_ranks, with_failure,
+                            victim=1, pfs_servers=4)
+            )
+    return _assemble_cells(keys, groups, jobs=jobs, cache=cache)
 
 
 def run_fig5_weak_scaling(
@@ -121,13 +176,20 @@ def run_fig5_weak_scaling(
     nodes: Optional[List[int]] = None,
     strategies: Optional[List[str]] = None,
     with_failure: bool = True,
+    jobs: int = 1,
+    cache: Optional[RunCache] = None,
 ) -> List[Fig5Cell]:
     """The right panel: node weak scaling at 1 GB per node."""
-    out = []
+    keys, groups = [], []
     for n in nodes or WEAK_SCALING_NODES:
         for strategy in strategies or FIG5_STRATEGIES:
-            out.append(run_fig5_cell(strategy, data_size, n, with_failure))
-    return out
+            data_bytes = parse_size(data_size)
+            keys.append((strategy, data_bytes, n))
+            groups.append(
+                _cell_specs(strategy, data_bytes, n, with_failure,
+                            victim=1, pfs_servers=4)
+            )
+    return _assemble_cells(keys, groups, jobs=jobs, cache=cache)
 
 
 def format_fig5(cells: List[Fig5Cell], title: str = "Figure 5") -> str:

@@ -14,8 +14,8 @@ from typing import List, Optional
 
 from repro.apps import MiniMDConfig
 from repro.experiments.common import paper_env
-from repro.harness import JobCosts, RunReport, run_minimd_job
-from repro.sim import IterationFailure
+from repro.harness import JobCosts, RunReport
+from repro.parallel import CellSpec, PlanSpec, RunCache, run_cells
 
 FIG6_STRATEGIES = ["none", "kr_veloc", "fenix_kr_veloc"]
 
@@ -74,6 +74,41 @@ def _md_env(n_ranks: int, pfs_servers: int = 4):
                      n_spares=env.n_spares)
 
 
+def _cell_specs(
+    strategy: str,
+    n_ranks: int,
+    with_failure: bool,
+    jitter: float,
+    victim: int,
+    pfs_servers: int,
+) -> List[CellSpec]:
+    cfg = _md_cfg(n_ranks, jitter)
+
+    def spec(plan: PlanSpec, tag: str) -> CellSpec:
+        return CellSpec(
+            app="minimd",
+            strategy=strategy,
+            n_ranks=n_ranks,
+            config=cfg,
+            ckpt_interval=CKPT_INTERVAL,
+            env=_md_env(n_ranks, pfs_servers),
+            plan=plan,
+            label=tag,
+        )
+
+    specs = [spec(PlanSpec.none(), "clean")]
+    if with_failure and strategy != "none":
+        specs.append(
+            spec(
+                PlanSpec.between_checkpoints(
+                    victim, CKPT_INTERVAL, FAIL_AFTER_CKPT, fraction=0.95
+                ),
+                "failed",
+            )
+        )
+    return specs
+
+
 def run_fig6_cell(
     strategy: str,
     n_ranks: int,
@@ -88,20 +123,12 @@ def run_fig6_cell(
     counts, hides part of the asynchronous-checkpoint latency inside the
     compute phases (Section VI-D1).
     """
-    cfg = _md_cfg(n_ranks, jitter)
-    clean = run_minimd_job(
-        _md_env(n_ranks, pfs_servers), strategy, n_ranks, cfg, CKPT_INTERVAL
-    )
-    failed = None
-    if with_failure and strategy != "none":
-        plan = IterationFailure.between_checkpoints(
-            victim, CKPT_INTERVAL, FAIL_AFTER_CKPT, fraction=0.95
-        )
-        failed = run_minimd_job(
-            _md_env(n_ranks, pfs_servers), strategy, n_ranks, cfg,
-            CKPT_INTERVAL, plan=plan,
-        )
-    return Fig6Cell(strategy, n_ranks, clean, failed)
+    specs = _cell_specs(strategy, n_ranks, with_failure, jitter, victim,
+                        pfs_servers)
+    executed = run_cells(specs, jobs=1)
+    reports = {res.spec.label: res.report for res in executed}
+    return Fig6Cell(strategy, n_ranks, reports["clean"],
+                    reports.get("failed"))
 
 
 def run_fig6_weak_scaling(
@@ -109,12 +136,26 @@ def run_fig6_weak_scaling(
     strategies: Optional[List[str]] = None,
     with_failure: bool = True,
     jitter: float = 0.05,
+    jobs: int = 1,
+    cache: Optional[RunCache] = None,
 ) -> List[Fig6Cell]:
-    out = []
+    keys, groups = [], []
     for n in ranks or RANK_COUNTS:
         for strategy in strategies or FIG6_STRATEGIES:
-            out.append(run_fig6_cell(strategy, n, with_failure, jitter))
-    return out
+            keys.append((strategy, n))
+            groups.append(
+                _cell_specs(strategy, n, with_failure, jitter,
+                            victim=1, pfs_servers=4)
+            )
+    flat = [s for group in groups for s in group]
+    executed = iter(run_cells(flat, jobs=jobs, cache=cache))
+    cells = []
+    for (strategy, n), group in zip(keys, groups):
+        reports = {s.label: next(executed).report for s in group}
+        cells.append(
+            Fig6Cell(strategy, n, reports["clean"], reports.get("failed"))
+        )
+    return cells
 
 
 def format_fig6(cells: List[Fig6Cell], title: str = "Figure 6") -> str:

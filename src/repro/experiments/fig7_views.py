@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 from repro.apps.minimd import MiniMDConfig, MiniMDState
 from repro.kokkos import KokkosRuntime
+from repro.parallel import parallel_map
 
 SIM_SIZES = [100, 200, 300, 400]
 
@@ -27,35 +28,37 @@ class Fig7Row:
     dominant_view_fraction: float  # of the checkpointed bytes
 
 
-def run_fig7_census(sizes: Optional[List[int]] = None) -> List[Fig7Row]:
-    rows = []
-    for size in sizes or SIM_SIZES:
-        cfg = MiniMDConfig(
-            real_atoms_per_rank=24, problem_size=size, n_ranks_for_model=8
-        )
-        runtime = KokkosRuntime()
-        state = MiniMDState(runtime, cfg, comm_rank=0, comm_size=2)
-        census = runtime.registry.census(state.all_views())
-        sizes_by_class = census.bytes_by_class()
-        ckpt_sizes = sorted(
-            (v.modeled_nbytes for v in census.checkpointed), reverse=True
-        )
-        rows.append(
-            Fig7Row(
-                sim_size=size,
-                counts={
-                    "checkpointed": len(census.checkpointed),
-                    "alias": len(census.aliases),
-                    "skipped": len(census.skipped),
-                },
-                fractions=census.fractions_by_class(),
-                bytes_by_class=sizes_by_class,
-                dominant_view_fraction=(
-                    ckpt_sizes[0] / sum(ckpt_sizes) if ckpt_sizes else 0.0
-                ),
-            )
-        )
-    return rows
+def _census_row(size: int) -> Fig7Row:
+    """One simulation size's census (module-level: pool workers pickle it)."""
+    cfg = MiniMDConfig(
+        real_atoms_per_rank=24, problem_size=size, n_ranks_for_model=8
+    )
+    runtime = KokkosRuntime()
+    state = MiniMDState(runtime, cfg, comm_rank=0, comm_size=2)
+    census = runtime.registry.census(state.all_views())
+    sizes_by_class = census.bytes_by_class()
+    ckpt_sizes = sorted(
+        (v.modeled_nbytes for v in census.checkpointed), reverse=True
+    )
+    return Fig7Row(
+        sim_size=size,
+        counts={
+            "checkpointed": len(census.checkpointed),
+            "alias": len(census.aliases),
+            "skipped": len(census.skipped),
+        },
+        fractions=census.fractions_by_class(),
+        bytes_by_class=sizes_by_class,
+        dominant_view_fraction=(
+            ckpt_sizes[0] / sum(ckpt_sizes) if ckpt_sizes else 0.0
+        ),
+    )
+
+
+def run_fig7_census(
+    sizes: Optional[List[int]] = None, jobs: int = 1
+) -> List[Fig7Row]:
+    return parallel_map(_census_row, sizes or SIM_SIZES, jobs=jobs)
 
 
 def format_fig7(rows: List[Fig7Row], title: str = "Figure 7") -> str:

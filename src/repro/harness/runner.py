@@ -137,6 +137,7 @@ class JobRunner:
         build_main: Callable[..., Callable],
         app_name: str,
         telemetry: Optional[Telemetry] = None,
+        trace_max_records: Optional[int] = None,
     ) -> None:
         self.env = env
         self.strategy = strategy
@@ -155,8 +156,10 @@ class JobRunner:
         self.n_total = n_total
         self.telemetry = telemetry
         # a telemetered run also records the legacy event trace so the
-        # exporters can interleave both record kinds on one timeline
-        trace = Trace(enabled=True) if (
+        # exporters can interleave both record kinds on one timeline;
+        # ``trace_max_records`` switches it to ring-buffer mode so long
+        # campaigns cannot grow the record list without bound
+        trace = Trace(enabled=True, max_records=trace_max_records) if (
             telemetry is not None and telemetry.enabled
         ) else None
         self.cluster = Cluster(env.cluster_spec, trace=trace,
@@ -367,6 +370,7 @@ def run_heatdis_job(
     ckpt_interval: int,
     plan: Optional[FailurePlan] = None,
     telemetry: Optional[Telemetry] = None,
+    trace_max_records: Optional[int] = None,
 ) -> RunReport:
     """Run one Heatdis job under a strategy; returns the report."""
     strategy = STRATEGIES[strategy_name]
@@ -398,7 +402,8 @@ def run_heatdis_job(
         )
 
     runner = JobRunner(env, strategy, n_ranks, plan, build_main, "heatdis",
-                       telemetry=telemetry)
+                       telemetry=telemetry,
+                       trace_max_records=trace_max_records)
     return runner.run()
 
 
@@ -410,6 +415,7 @@ def run_heatdis2d_job(
     ckpt_interval: int,
     plan: Optional[FailurePlan] = None,
     telemetry: Optional[Telemetry] = None,
+    trace_max_records: Optional[int] = None,
 ) -> RunReport:
     """Run one 2-D-decomposed Heatdis job under a strategy."""
     strategy = STRATEGIES[strategy_name]
@@ -428,7 +434,8 @@ def run_heatdis2d_job(
         )
 
     runner = JobRunner(env, strategy, n_ranks, plan, build_main, "heatdis2d",
-                       telemetry=telemetry)
+                       telemetry=telemetry,
+                       trace_max_records=trace_max_records)
     return runner.run()
 
 
@@ -440,6 +447,7 @@ def run_minimd_job(
     ckpt_interval: int,
     plan: Optional[FailurePlan] = None,
     telemetry: Optional[Telemetry] = None,
+    trace_max_records: Optional[int] = None,
 ) -> RunReport:
     """Run one MiniMD job under a strategy; returns the report."""
     strategy = STRATEGIES[strategy_name]
@@ -456,5 +464,6 @@ def run_minimd_job(
         )
 
     runner = JobRunner(env, strategy, n_ranks, plan, build_main, "minimd",
-                       telemetry=telemetry)
+                       telemetry=telemetry,
+                       trace_max_records=trace_max_records)
     return runner.run()

@@ -1,0 +1,41 @@
+"""Parallel experiment execution: process-pool executor + run cache.
+
+Every figure in the paper is a sweep over independent, deterministic
+simulations; this package makes those sweeps cheap:
+
+- :mod:`repro.parallel.spec` -- pickle-safe cell descriptions
+  (:class:`CellSpec`, :class:`PlanSpec`) and the worker entry point;
+- :mod:`repro.parallel.executor` -- :func:`run_cells` fans cells out
+  over a ``ProcessPoolExecutor`` with bit-identical-to-sequential
+  results, :func:`parallel_map` for non-simulation work;
+- :mod:`repro.parallel.cache` -- :class:`RunCache`, a content-addressed
+  (config + seed + code fingerprint) store of finished reports under
+  ``results/cache/``, so re-running a campaign only executes changed
+  cells.
+"""
+
+from repro.parallel.cache import RunCache, cache_key, code_fingerprint
+from repro.parallel.executor import parallel_map, resolve_jobs, run_cells
+from repro.parallel.spec import (
+    DEFAULT_TRACE_MAX_RECORDS,
+    CellResult,
+    CellSpec,
+    PlanSpec,
+    execute_cell,
+    sanitize_report,
+)
+
+__all__ = [
+    "RunCache",
+    "cache_key",
+    "code_fingerprint",
+    "parallel_map",
+    "resolve_jobs",
+    "run_cells",
+    "CellResult",
+    "CellSpec",
+    "PlanSpec",
+    "execute_cell",
+    "sanitize_report",
+    "DEFAULT_TRACE_MAX_RECORDS",
+]

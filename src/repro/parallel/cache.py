@@ -1,0 +1,157 @@
+"""Content-addressed run cache: (config + seed + code version) -> report.
+
+Cache key
+---------
+
+A cell's identity is the SHA-256 of:
+
+- the canonical JSON form of its :class:`~repro.parallel.spec.CellSpec`
+  (every field that affects the simulation, including all seeds; the
+  cosmetic ``label`` is excluded), and
+- the *code fingerprint*: a digest over the source bytes of every module
+  in the ``repro`` package, so any code change -- an engine fix, a cost
+  model tweak -- invalidates the whole cache automatically, and
+- a schema version constant, bumped when the stored JSON layout changes.
+
+Entries live as ``results/cache/<key>.json`` by default.  Invalidation
+is therefore: touch any ``repro`` source file, pass ``--no-cache``, or
+simply delete the directory -- entries are self-contained files.
+
+Only the aggregate :class:`~repro.harness.RunReport` fields are stored
+(per-rank application payloads are stripped by the executor); floats
+round-trip exactly through JSON (``repr``-based), which is what makes a
+cache hit byte-identical to the simulation it replaced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from typing import Optional
+
+from repro.harness.runner import RunReport
+from repro.parallel.spec import CellResult, CellSpec, spec_to_dict
+
+#: bump when the on-disk entry layout changes
+CACHE_SCHEMA = 1
+
+DEFAULT_CACHE_DIR = pathlib.Path("results") / "cache"
+
+_code_fingerprint: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Digest of the ``repro`` package sources (computed once per process)."""
+    global _code_fingerprint
+    if _code_fingerprint is None:
+        import repro
+
+        pkg_root = pathlib.Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(pkg_root.rglob("*.py")):
+            digest.update(str(path.relative_to(pkg_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _code_fingerprint = digest.hexdigest()
+    return _code_fingerprint
+
+
+def cache_key(spec: CellSpec) -> str:
+    """The content address of one cell."""
+    payload = json.dumps(
+        {
+            "schema": CACHE_SCHEMA,
+            "code": code_fingerprint(),
+            "spec": spec_to_dict(spec),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _report_to_entry(report: RunReport) -> dict:
+    return {
+        "strategy": report.strategy,
+        "app": report.app,
+        "n_ranks": report.n_ranks,
+        "wall_time": report.wall_time,
+        "attempts": report.attempts,
+        "failures": report.failures,
+        "buckets": dict(report.buckets),
+        "platform": dict(report.platform),
+        "telemetry": report.telemetry,
+    }
+
+
+def _report_from_entry(entry: dict) -> RunReport:
+    return RunReport(
+        strategy=entry["strategy"],
+        app=entry["app"],
+        n_ranks=entry["n_ranks"],
+        wall_time=entry["wall_time"],
+        attempts=entry["attempts"],
+        failures=entry["failures"],
+        buckets=dict(entry["buckets"]),
+        results={},
+        platform=dict(entry["platform"]),
+        telemetry=entry["telemetry"],
+    )
+
+
+class RunCache:
+    """Directory of completed cell results, keyed by content address."""
+
+    def __init__(self, directory: "pathlib.Path | str" = DEFAULT_CACHE_DIR):
+        self.directory = pathlib.Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, spec: CellSpec) -> Optional[CellResult]:
+        """The stored result for ``spec``, or None (a miss)."""
+        path = self._path(cache_key(spec))
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return CellResult(
+            spec=spec,
+            report=_report_from_entry(entry["report"]),
+            failures=entry["failures"],
+        )
+
+    def put(self, spec: CellSpec, result: CellResult) -> None:
+        """Persist one completed cell (atomic rename, so a crashed run
+        never leaves a truncated entry behind)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        key = cache_key(spec)
+        # no sort_keys: dict order (buckets, telemetry) must survive the
+        # round trip so a hit re-serializes byte-identically to the run
+        payload = json.dumps(
+            {
+                "schema": CACHE_SCHEMA,
+                "report": _report_to_entry(result.report),
+                "failures": result.failures,
+            }
+        )
+        tmp = self._path(key).with_suffix(".tmp")
+        tmp.write_text(payload)
+        tmp.replace(self._path(key))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.directory.exists():
+            for path in self.directory.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed

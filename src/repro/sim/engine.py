@@ -21,7 +21,7 @@ tracking, and deadlock detection that names the blocked processes.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.telemetry.collector import NULL_TELEMETRY
@@ -53,6 +53,7 @@ class Event:
         "_callbacks",
         "_scheduled",
         "_processed",
+        "_pooled",
         "name",
     )
 
@@ -64,6 +65,7 @@ class Event:
         self._callbacks: list[Callable[["Event"], None]] = []
         self._scheduled = False
         self._processed = False
+        self._pooled = False
 
     # -- state ---------------------------------------------------------
 
@@ -141,9 +143,13 @@ class Event:
 
     def _dispatch(self) -> None:
         self._processed = True
-        callbacks, self._callbacks = self._callbacks, []
-        for fn in callbacks:
-            fn(self)
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = []
+            for fn in callbacks:
+                fn(self)
+        if self._pooled:
+            self.engine._recycle_timeout(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "pending"
@@ -153,15 +159,28 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers ``delay`` seconds after creation."""
+    """An event that triggers ``delay`` seconds after creation.
 
-    __slots__ = ()
+    Instances handed out by :meth:`Engine.timeout` are *pooled*: once
+    processed, they may be recycled for a later ``engine.timeout()``
+    call.  Hold a directly-constructed ``Timeout(engine, delay)`` (or
+    any named event) instead if state must be inspected after the
+    trigger has been processed.  Combinators (:class:`AllOf` /
+    :class:`AnyOf`) pin their children, so grouping pooled timeouts
+    stays safe.
+    """
+
+    __slots__ = ("delay",)
 
     def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay}")
-        super().__init__(engine, name=f"timeout({delay:g})")
+        super().__init__(engine, name="timeout")
+        self.delay = delay
         self.succeed(value, delay=delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Timeout {self.delay:g}s {'done' if self._processed else 'pending'}>"
 
 
 class AllOf(Event):
@@ -181,6 +200,9 @@ class AllOf(Event):
             self.succeed([])
             return
         for ev in self._children:
+            # pin: child values are read after their dispatch, so pooled
+            # timeouts must not be recycled out from under the combinator
+            ev._pooled = False
             ev.add_callback(self._on_child)
 
     def _on_child(self, ev: Event) -> None:
@@ -208,6 +230,7 @@ class AnyOf(Event):
         if not self._children:
             raise SimulationError("AnyOf requires at least one event")
         for idx, ev in enumerate(self._children):
+            ev._pooled = False
             ev.add_callback(self._make_cb(idx))
 
     def _make_cb(self, idx: int) -> Callable[[Event], None]:
@@ -330,12 +353,17 @@ class Process(Event):
 class Engine:
     """The event loop: owns the simulated clock and the pending-event heap."""
 
+    #: recycled Timeout instances kept per engine (bounds memory pinned
+    #: by bursts of simultaneous timers)
+    _POOL_MAX = 256
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._alive: set[Process] = set()
-        self._failures: list[tuple[Process, BaseException]] = []
+        self._failures: dict[Process, BaseException] = {}
+        self._timeout_pool: list[Timeout] = []
         #: observability hooks; the shared disabled instance unless the
         #: owning cluster installs a live one (zero-cost when disabled)
         self.telemetry = NULL_TELEMETRY
@@ -346,7 +374,28 @@ class Engine:
         return Event(self, name=name)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+        """A pooled timeout: the hot sleep path of every simulated rank.
+
+        Recycles already-processed instances to avoid the allocation and
+        naming cost of :class:`Timeout` construction (see its docstring
+        for the pooling contract).
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimulationError(f"negative timeout: {delay}")
+            ev = pool.pop()
+            ev._value = value
+            ev._exc = None
+            ev._scheduled = True
+            ev._processed = False
+            ev.delay = delay
+            self._seq += 1
+            heappush(self._heap, (self.now + delay, self._seq, ev))
+            return ev
+        ev = Timeout(self, delay, value)
+        ev._pooled = True
+        return ev
 
     def process(
         self,
@@ -368,25 +417,27 @@ class Engine:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: {delay}")
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def _recycle_timeout(self, ev: Timeout) -> None:
+        if len(self._timeout_pool) < self._POOL_MAX:
+            self._timeout_pool.append(ev)
 
     def _note_failure(self, proc: Process, exc: BaseException) -> None:
-        self._failures.append((proc, exc))
+        self._failures[proc] = exc
 
     def consume_failure(self, proc: Process) -> Optional[BaseException]:
         """Mark ``proc``'s failure as handled (e.g. an expected rank death).
 
-        Returns the exception if one was recorded, else None.
+        Returns the exception if one was recorded, else None.  O(1):
+        failures are keyed by process (insertion-ordered, so the oldest
+        unhandled failure is still the one reported by :meth:`run`).
         """
-        for i, (p, exc) in enumerate(self._failures):
-            if p is proc:
-                del self._failures[i]
-                return exc
-        return None
+        return self._failures.pop(proc, None)
 
     @property
     def unhandled_failures(self) -> list[tuple[Process, BaseException]]:
-        return list(self._failures)
+        return list(self._failures.items())
 
     # -- execution -------------------------------------------------------
 
@@ -400,30 +451,37 @@ class Engine:
         - :class:`DeadlockError` when non-daemon processes remain blocked
           with nothing left to wake them.
         """
-        while self._heap:
-            when, _, event = self._heap[0]
-            if until is not None and when > until:
-                self.now = until
-                break
-            heapq.heappop(self._heap)
-            self.now = when
-            event._dispatch()
+        # hot loop: localize the heap and heappop; skip the head peek
+        # entirely on the common unbounded run
+        heap = self._heap
+        if until is None:
+            while heap:
+                when, _, event = heappop(heap)
+                self.now = when
+                event._dispatch()
+        else:
+            while heap:
+                when = heap[0][0]
+                if when > until:
+                    self.now = until
+                    break
+                _, _, event = heappop(heap)
+                self.now = when
+                event._dispatch()
         if self._failures:
-            proc, exc = self._failures[0]
+            proc, exc = next(iter(self._failures.items()))
             raise SimulationError(
                 f"process {proc.name!r} died with unhandled {type(exc).__name__}: {exc}"
             ) from exc
         if check_deadlock and until is None:
             blocked = [p for p in self._alive if not p.daemon]
             if blocked:
-                details = ", ".join(
-                    sorted(
-                        f"{p.name} (waiting on "
-                        f"{p._target.name if p._target is not None else '?'})"
-                        for p in blocked
-                    )
-                )
+                # message assembly is deferred to DeadlockError.__str__
                 raise DeadlockError(
-                    f"simulation deadlock: processes still blocked: {details}"
+                    blocked=[
+                        (p.name,
+                         p._target.name if p._target is not None else "?")
+                        for p in blocked
+                    ]
                 )
         return self.now

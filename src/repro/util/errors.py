@@ -7,6 +7,8 @@ library's failures without swallowing genuine Python bugs.
 
 from __future__ import annotations
 
+from typing import Optional, Sequence, Tuple
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -25,5 +27,27 @@ class DeadlockError(SimulationError):
 
     Raised by :meth:`repro.sim.Engine.run` when live processes remain but no
     event can ever wake them -- the simulation equivalent of an MPI deadlock.
-    The message lists the blocked processes to aid debugging.
+    The message lists the blocked processes to aid debugging; the listing
+    is assembled lazily (only when the exception is actually rendered), so
+    callers that catch and discard the error pay nothing for formatting.
     """
+
+    def __init__(
+        self,
+        message: str = "",
+        blocked: Optional[Sequence[Tuple[str, str]]] = None,
+    ) -> None:
+        super().__init__(message)
+        #: ``(process name, awaited event name)`` pairs, when the engine
+        #: supplied structured detail instead of a pre-built message
+        self.blocked = list(blocked) if blocked is not None else []
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if not self.blocked:
+            return base
+        details = ", ".join(
+            sorted(f"{name} (waiting on {target})"
+                   for name, target in self.blocked)
+        )
+        return f"simulation deadlock: processes still blocked: {details}"

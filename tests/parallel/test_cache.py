@@ -1,0 +1,140 @@
+"""Run cache: content addressing, hit/miss behavior, invalidation."""
+
+import dataclasses
+import json
+
+from repro.apps import HeatdisConfig
+from repro.experiments.common import paper_env
+from repro.harness.report import reports_to_json
+from repro.parallel import (
+    CellSpec,
+    PlanSpec,
+    RunCache,
+    cache_key,
+    code_fingerprint,
+    run_cells,
+)
+from repro.parallel import spec as spec_mod
+
+
+def small_spec(seed=1, n_iters=12, label=""):
+    cfg = HeatdisConfig(
+        local_rows=8, cols=16, modeled_bytes_per_rank=16e6, n_iters=n_iters,
+    )
+    return CellSpec(
+        app="heatdis",
+        strategy="kr_veloc",
+        n_ranks=2,
+        config=cfg,
+        ckpt_interval=4,
+        env=paper_env(3, seed=seed, pfs_servers=1),
+        plan=PlanSpec.between_checkpoints(1, 4, 1),
+        label=label,
+    )
+
+
+class TestCacheKey:
+    def test_stable_for_equal_specs(self):
+        assert cache_key(small_spec()) == cache_key(small_spec())
+
+    def test_label_excluded_from_identity(self):
+        assert cache_key(small_spec(label="a")) == \
+            cache_key(small_spec(label="b"))
+
+    def test_config_change_changes_key(self):
+        assert cache_key(small_spec(n_iters=12)) != \
+            cache_key(small_spec(n_iters=13))
+
+    def test_seed_change_changes_key(self):
+        assert cache_key(small_spec(seed=1)) != cache_key(small_spec(seed=2))
+
+    def test_code_fingerprint_feeds_key(self):
+        # the fingerprint is a stable digest of the package sources
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 64
+
+
+class TestCacheHit:
+    def test_hit_skips_simulation_and_matches(self, tmp_path):
+        """A cache hit returns the identical report without re-simulating
+        (asserted via the module run-counter)."""
+        cache = RunCache(tmp_path)
+        spec = small_spec()
+
+        before = spec_mod.RUNS_EXECUTED
+        first = run_cells([spec], jobs=1, cache=cache)[0]
+        assert spec_mod.RUNS_EXECUTED == before + 1
+
+        second = run_cells([spec], jobs=1, cache=cache)[0]
+        assert spec_mod.RUNS_EXECUTED == before + 1  # no new simulation
+        assert cache.hits == 1
+
+        assert reports_to_json([first.report]) == \
+            reports_to_json([second.report])
+        assert first.failures == second.failures
+
+    def test_changed_cell_misses(self, tmp_path):
+        cache = RunCache(tmp_path)
+        run_cells([small_spec(seed=1)], jobs=1, cache=cache)
+        before = spec_mod.RUNS_EXECUTED
+        run_cells([small_spec(seed=2)], jobs=1, cache=cache)
+        assert spec_mod.RUNS_EXECUTED == before + 1
+
+    def test_corrupt_entry_treated_as_miss(self, tmp_path):
+        cache = RunCache(tmp_path)
+        spec = small_spec()
+        run_cells([spec], jobs=1, cache=cache)
+        entry = tmp_path / f"{cache_key(spec)}.json"
+        entry.write_text("{not json")
+        assert cache.get(spec) is None
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = RunCache(tmp_path)
+        run_cells([small_spec()], jobs=1, cache=cache)
+        assert cache.clear() == 1
+        assert cache.get(small_spec()) is None
+
+    def test_entries_are_valid_json(self, tmp_path):
+        cache = RunCache(tmp_path)
+        spec = small_spec()
+        run_cells([spec], jobs=1, cache=cache)
+        entry = json.loads((tmp_path / f"{cache_key(spec)}.json").read_text())
+        assert entry["schema"] == 1
+        assert entry["report"]["strategy"] == "kr_veloc"
+
+
+class TestCampaignIntegration:
+    def test_campaign_with_cache_and_jobs_matches_plain(self, tmp_path):
+        from repro.experiments.campaign import run_campaign
+
+        kwargs = dict(n_ranks=2, n_iters=12, n_spares=1, max_failures=1)
+        plain = run_campaign(**kwargs)
+        cached = run_campaign(**kwargs, jobs=2, cache=RunCache(tmp_path))
+        again = run_campaign(**kwargs, jobs=2, cache=RunCache(tmp_path))
+        for study in (cached, again):
+            assert study.ideal_wall == plain.ideal_wall
+            for a, b in zip(plain.results, study.results):
+                assert a.strategy == b.strategy
+                assert a.wall_time == b.wall_time
+                assert a.failures == b.failures
+                assert a.report.attempts == b.report.attempts
+
+    def test_unknown_strategy_keyerror_names_known(self):
+        import pytest
+
+        from repro.experiments.campaign import CampaignResult, CampaignStudy
+        from repro.harness import RunReport
+
+        rep = RunReport(strategy="kr_veloc", app="heatdis", n_ranks=2,
+                        wall_time=2.0, attempts=1, failures=0, buckets={},
+                        results={})
+        study = CampaignStudy(
+            ideal_wall=1.0,
+            results=[CampaignResult("kr_veloc", rep, failures=0)],
+        )
+        with pytest.raises(KeyError, match="warp-drive") as exc_info:
+            study.efficiency("warp-drive")
+        assert "kr_veloc" in str(exc_info.value)
+        with pytest.raises(KeyError, match="warp-drive"):
+            study.result("warp-drive")
+        assert study.efficiency("kr_veloc") == 0.5

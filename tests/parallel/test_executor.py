@@ -1,0 +1,133 @@
+"""Parallel executor: determinism, ordering, and jobs semantics."""
+
+import json
+
+import pytest
+
+from repro.apps import HeatdisConfig
+from repro.experiments.common import paper_env
+from repro.harness.report import reports_to_json
+from repro.parallel import (
+    CellSpec,
+    PlanSpec,
+    execute_cell,
+    parallel_map,
+    resolve_jobs,
+    run_cells,
+)
+
+
+def small_spec(strategy="kr_veloc", n_ranks=2, seed=1, telemetry=False,
+               plan=None, label=""):
+    cfg = HeatdisConfig(
+        local_rows=8, cols=16, modeled_bytes_per_rank=16e6, n_iters=12,
+    )
+    if plan is None:
+        plan = PlanSpec.between_checkpoints(1, 4, 1)
+    return CellSpec(
+        app="heatdis",
+        strategy=strategy,
+        n_ranks=n_ranks,
+        config=cfg,
+        ckpt_interval=4,
+        env=paper_env(n_ranks + 1, seed=seed, pfs_servers=1),
+        plan=plan,
+        telemetry=telemetry,
+        label=label,
+    )
+
+
+class TestJobsSemantics:
+    def test_resolve_jobs(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(None) >= 1
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+    def test_results_come_back_in_input_order(self):
+        specs = [small_spec(label=f"cell{i}", seed=i + 1) for i in range(3)]
+        results = run_cells(specs, jobs=2)
+        assert [r.label for r in results] == ["cell0", "cell1", "cell2"]
+
+
+class TestDeterminism:
+    def test_parallel_reports_byte_identical_to_sequential(self):
+        """The acceptance criterion: same cells, --jobs 4 vs sequential."""
+        specs = [
+            small_spec("kr_veloc"),
+            small_spec("fenix_kr_veloc"),
+            small_spec("none", plan=PlanSpec.none()),
+        ]
+        seq = run_cells(specs, jobs=1)
+        par = run_cells(specs, jobs=4)
+        seq_json = reports_to_json([r.report for r in seq])
+        par_json = reports_to_json([r.report for r in par])
+        assert seq_json == par_json
+        assert [r.failures for r in seq] == [r.failures for r in par]
+
+    def test_telemetered_run_identical_across_pool(self):
+        spec = small_spec("fenix_kr_veloc", telemetry=True)
+        seq = run_cells([spec], jobs=1)[0]
+        par = run_cells([spec, spec], jobs=2)[0]
+        assert par.report.telemetry is not None
+        assert json.dumps(seq.report.telemetry, sort_keys=True) == \
+            json.dumps(par.report.telemetry, sort_keys=True)
+
+    def test_exponential_plan_failures_match(self):
+        plan = PlanSpec.exponential(200.0, seed=3, max_failures=2)
+        spec = small_spec("fenix_kr_veloc", n_ranks=4, plan=plan)
+        seq = run_cells([spec], jobs=1)[0]
+        par = run_cells([spec, spec], jobs=2)[0]
+        assert seq.failures == par.failures
+        assert seq.report.wall_time == par.report.wall_time
+
+
+class TestPlanSpec:
+    def test_between_checkpoints_matches_iteration_failure(self):
+        from repro.sim import IterationFailure
+
+        spec = PlanSpec.between_checkpoints(1, 9, 4, fraction=0.95)
+        direct = IterationFailure.between_checkpoints(1, 9, 4, fraction=0.95)
+        built = spec.build()
+        assert built.pending == direct.pending
+
+    def test_unknown_kind_rejected(self):
+        from repro.util.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            PlanSpec(kind="cosmic-rays").build()
+
+    def test_unknown_app_rejected(self):
+        from repro.util.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="minimd"):
+            CellSpec(
+                app="nbody", strategy="none", n_ranks=2,
+                config=HeatdisConfig(), ckpt_interval=4,
+                env=paper_env(3, pfs_servers=1),
+            )
+
+
+class TestParallelMap:
+    def test_matches_sequential_map(self):
+        items = list(range(8))
+        assert parallel_map(str, items, jobs=1) == \
+            parallel_map(str, items, jobs=3) == [str(i) for i in items]
+
+    def test_empty(self):
+        assert parallel_map(str, [], jobs=4) == []
+
+
+class TestExecuteCellKeepsPayloads:
+    def test_inline_execution_keeps_results(self):
+        """Sequential callers still get per-rank application payloads
+        (the figure tests assert on recovered grids)."""
+        result = execute_cell(small_spec("none", plan=PlanSpec.none()))
+        assert len(result.report.results) == 2
+
+    def test_pool_execution_strips_results(self):
+        spec = small_spec("none", plan=PlanSpec.none())
+        par = run_cells([spec, spec], jobs=2)[0]
+        assert par.report.results == {}

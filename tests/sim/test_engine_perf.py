@@ -1,0 +1,158 @@
+"""Semantics of the engine hot-path optimizations.
+
+The speedups (Timeout pooling, O(1) consume_failure, lazy deadlock
+formatting, localized run loop) must be invisible: these tests pin the
+behaviors a recycled object could silently corrupt.
+"""
+
+import pytest
+
+from repro.sim import Engine, Timeout
+from repro.util.errors import DeadlockError, SimulationError
+
+
+class TestTimeoutPooling:
+    def test_processed_timeouts_are_recycled(self):
+        eng = Engine()
+        seen = []
+
+        def ticker():
+            for _ in range(10):
+                ev = eng.timeout(1.0)
+                seen.append(id(ev))
+                yield ev
+
+        eng.process(ticker())
+        eng.run()
+        # steady state reuses instances instead of allocating 10
+        assert len(set(seen)) < len(seen)
+        assert eng._timeout_pool  # survivors parked for the next run
+
+    def test_pool_is_bounded(self):
+        eng = Engine()
+
+        def burst():
+            # schedule far more simultaneous timers than the pool cap
+            yield eng.all_of([eng.timeout(1.0) for _ in range(600)])
+
+        eng.process(burst())
+        eng.run()
+        assert len(eng._timeout_pool) <= Engine._POOL_MAX
+
+    def test_values_survive_combinators(self):
+        """AllOf reads child values after dispatch: children are pinned."""
+        eng = Engine()
+        out = []
+
+        def proc():
+            values = yield eng.all_of(
+                [eng.timeout(1.0, "a"), eng.timeout(2.0, "b")]
+            )
+            # interleave more timeouts, then check nothing was clobbered
+            yield eng.timeout(1.0)
+            out.append(values)
+
+        eng.process(proc())
+        eng.run()
+        assert out == [["a", "b"]]
+
+    def test_recycled_timeout_carries_new_value(self):
+        eng = Engine()
+        got = []
+
+        def proc():
+            first = eng.timeout(1.0, "one")
+            got.append((yield first))
+            second = eng.timeout(1.0, "two")
+            got.append((yield second))
+
+        eng.process(proc())
+        eng.run()
+        assert got == ["one", "two"]
+
+    def test_direct_construction_is_not_pooled(self):
+        eng = Engine()
+        held = Timeout(eng, 1.0, "kept")
+
+        def proc():
+            yield held
+            yield eng.timeout(1.0)
+
+        eng.process(proc())
+        eng.run()
+        # a directly-constructed Timeout keeps its state after the run
+        assert held.processed and held.value == "kept"
+        assert held not in eng._timeout_pool
+
+    def test_negative_delay_rejected_on_pooled_path(self):
+        eng = Engine()
+
+        def proc():
+            yield eng.timeout(1.0)
+            eng.timeout(-0.5)
+
+        eng.process(proc())
+        with pytest.raises(SimulationError, match="negative|boom"):
+            eng.run()
+
+
+class TestFailureBookkeeping:
+    def test_consume_failure_is_keyed_by_process(self):
+        eng = Engine()
+
+        def bad(tag):
+            yield eng.timeout(1.0)
+            raise ValueError(tag)
+
+        procs = [eng.process(bad(f"p{i}"), name=f"p{i}") for i in range(3)]
+        with pytest.raises(SimulationError, match="p0"):
+            eng.run()  # oldest unconsumed failure is still the one raised
+        # consume out of order; each pop returns that process's error
+        assert "p1" in str(eng.consume_failure(procs[1]))
+        assert "p0" in str(eng.consume_failure(procs[0]))
+        assert eng.consume_failure(procs[0]) is None
+        assert [p.name for p, _ in eng.unhandled_failures] == ["p2"]
+
+
+class TestLazyDeadlock:
+    def test_blocked_detail_available_structurally(self):
+        eng = Engine()
+
+        def stuck():
+            yield eng.event(name="never")
+
+        eng.process(stuck(), name="stuck-proc")
+        with pytest.raises(DeadlockError) as exc_info:
+            eng.run()
+        assert exc_info.value.blocked == [("stuck-proc", "never")]
+        assert "stuck-proc" in str(exc_info.value)
+        assert "never" in str(exc_info.value)
+
+    def test_plain_message_still_renders(self):
+        assert str(DeadlockError("plain")) == "plain"
+
+
+class TestRunLoop:
+    def test_until_with_empty_heap_keeps_last_event_time(self):
+        eng = Engine()
+
+        def proc():
+            yield eng.timeout(3.0)
+
+        eng.process(proc())
+        assert eng.run(until=10.0) == 3.0
+
+    def test_until_pauses_and_resumes(self):
+        eng = Engine()
+        ticks = []
+
+        def proc():
+            for _ in range(4):
+                yield eng.timeout(1.0)
+                ticks.append(eng.now)
+
+        eng.process(proc())
+        eng.run(until=2.5)
+        assert ticks == [1.0, 2.0] and eng.now == 2.5
+        eng.run()
+        assert ticks == [1.0, 2.0, 3.0, 4.0]
