@@ -1,0 +1,72 @@
+"""Trace query performance: the per-kind index on large flight records.
+
+The monitors and the post-mortem tooling replay traces far larger than
+anything the figure benchmarks produce, and lean on ``records(kind=)``,
+``first``/``last``/``count``.  These benchmarks keep the indexed paths in
+the regression history (``BENCH_simulator.json`` workflow -- see
+docs/PERFORMANCE.md).
+"""
+
+import pytest
+
+from repro.sim import Trace
+
+N_RECORDS = 100_000
+N_QUERIES = 10_000
+
+
+def big_trace(max_records=None):
+    tr = Trace(max_records=max_records)
+    for i in range(N_RECORDS):
+        # a realistic kind mix: mostly bulk layer events, rare protocol ones
+        kind = "checkpoint" if i % 50 == 0 else f"compute{i % 11}"
+        tr.emit(float(i), f"veloc.rank{i % 16}", kind, version=i // 50)
+    tr.emit(float(N_RECORDS), "fenix", "repair", generation=1)
+    return tr
+
+
+@pytest.mark.benchmark(group="trace")
+def test_trace_emit_throughput(benchmark):
+    """Recording cost with the per-kind index being maintained."""
+    tr = benchmark(big_trace)
+    assert len(tr) == N_RECORDS + 1
+
+
+@pytest.mark.benchmark(group="trace")
+def test_trace_indexed_point_queries(benchmark):
+    """first/last/count of a rare kind must not scale with trace size."""
+    tr = big_trace()
+
+    def run():
+        acc = 0
+        for _ in range(N_QUERIES):
+            acc += tr.count("repair")
+            acc += tr.first("repair")["generation"]
+            acc += tr.last("checkpoint")["version"]
+        return acc
+
+    assert benchmark(run) > 0
+
+
+@pytest.mark.benchmark(group="trace")
+def test_trace_indexed_kind_scan(benchmark):
+    """records(kind=) walks only that kind's deque, not the whole trace."""
+    tr = big_trace()
+
+    def run():
+        return sum(len(tr.records(kind="checkpoint")) for _ in range(100))
+
+    assert benchmark(run) == 100 * (N_RECORDS // 50)
+
+
+@pytest.mark.benchmark(group="trace")
+def test_trace_ring_buffer_emit(benchmark):
+    """Bounded recording: eviction must keep the index consistent."""
+
+    def run():
+        return big_trace(max_records=10_000)
+
+    tr = benchmark(run)
+    assert len(tr) == 10_000
+    assert tr.dropped == N_RECORDS + 1 - 10_000
+    assert tr.dropped_window is not None

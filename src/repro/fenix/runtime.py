@@ -75,6 +75,10 @@ class WorldGate:
         ev = self.world.engine.event(name=f"{self.name}:{world_rank}")
         self._contributions[world_rank] = value
         self._waiters[world_rank] = ev
+        self.world.trace.emit(
+            self.world.engine.now, "fenix", "gate_arrive",
+            gate=self.name, rank=world_rank,
+        )
         self.recheck()
         return ev
 
@@ -214,11 +218,17 @@ class FenixSystem:
             else:
                 exhausted = True  # slot dropped (shrink) or job aborts
         self.generation += 1
+        dead_members = [w for w in old.members if not world.is_alive(w)]
         # the shrink step: the surviving membership is now decided
+        world.trace.emit(
+            world.engine.now, "fenix", "shrink",
+            generation=self.generation, comm=old.name,
+            survivors=list(new_members), dead=dead_members,
+        )
         if tel.enabled:
             tel.instant("fenix", "fenix.shrink", generation=self.generation,
                         survivors=len(new_members),
-                        dead=[w for w in old.members if not world.is_alive(w)])
+                        dead=dead_members)
             tel.set_gauge("fenix.spare_pool_depth",
                           len([s for s in self.spare_pool if world.is_alive(s)]))
         if exhausted and self.spare_policy == POLICY_ABORT:
@@ -237,9 +247,23 @@ class FenixSystem:
             "repair",
             generation=self.generation,
             size=comm.size,
+            comm=comm.name,
+            old_comm=old.name,
+            members=list(new_members),
+            contributors=sorted(contributions),
             recovered=[w for w, r in roles.items() if r is Role.RECOVERED],
         )
+        # role assignment: one record per member of the new communicator
+        for w in new_members:
+            world.trace.emit(
+                world.engine.now, "fenix", "role",
+                rank=w, role=roles[w].name, generation=self.generation,
+            )
         # the agreement: every alive rank observes the same repair result
+        world.trace.emit(
+            world.engine.now, "fenix", "agree",
+            generation=self.generation, comm=comm.name, size=comm.size,
+        )
         if tel.enabled:
             tel.instant("fenix", "fenix.agree", generation=self.generation,
                         size=comm.size)
@@ -278,6 +302,10 @@ class FenixSystem:
                 # a dynamically added spare joins the pool on arrival
                 self.spare_pool.append(ctx.rank)
         self.registered.add(ctx.rank)
+        world.trace.emit(
+            engine.now, "fenix", "role",
+            rank=ctx.rank, role=role.name, generation=self.generation,
+        )
 
         while True:
             if role is Role.SPARE:
@@ -338,6 +366,11 @@ class FenixSystem:
         the last active rank arrives)."""
         self._finalize_arrived.add(ctx.rank)
         self.retired.add(ctx.rank)
+        # retirement record: monitors must stop expecting this rank at
+        # future repair-gate rendezvous
+        self.world.trace.emit(
+            self.world.engine.now, "fenix", "finalize_arrive", rank=ctx.rank,
+        )
         if self._recheck_finalize():
             return
         ev = self.world.engine.event(name=f"fenix.finalize:{ctx.rank}")

@@ -15,8 +15,9 @@ Reproduces the paper's measurement methodology (Section VI-C):
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.apps.heatdis import HeatdisConfig, make_heatdis_main
 from repro.apps.heatdis2d import Heatdis2DConfig, make_heatdis2d_main
@@ -27,6 +28,7 @@ from repro.fenix import FenixSystem, IMRStore
 from repro.fenix.roles import Role
 from repro.harness.recompute import RecomputeTracker
 from repro.harness.strategies import STRATEGIES, StrategySpec
+from repro.monitor import InvariantViolationError, MonitorSuite
 from repro.mpi import World
 from repro.mpi.errors import MPIError
 from repro.mpi.handle import CommHandle
@@ -36,6 +38,15 @@ from repro.sim.trace import Trace
 from repro.telemetry import Telemetry
 from repro.util.errors import ConfigError, ReproError
 from repro.veloc import VeloCService
+
+
+def strict_monitor_default() -> bool:
+    """CI hook: ``REPRO_STRICT_MONITOR=1`` turns invariant enforcement on
+    for every job without plumbing a flag through each call site (the
+    env var is inherited by parallel sweep workers)."""
+    return os.environ.get(
+        "REPRO_STRICT_MONITOR", ""
+    ).strip().lower() in ("1", "true", "yes", "on")
 
 
 @dataclass(frozen=True)
@@ -85,6 +96,9 @@ class RunReport:
     platform: Dict[str, float] = field(default_factory=dict)
     #: metrics summary (merged + per-rank) when the run was telemetered
     telemetry: Optional[Dict] = None
+    #: protocol invariant violations found by the monitor suite (empty
+    #: when the run was not monitored or came back clean)
+    violations: List[Any] = field(default_factory=list)
 
     @property
     def accounted(self) -> float:
@@ -138,6 +152,8 @@ class JobRunner:
         app_name: str,
         telemetry: Optional[Telemetry] = None,
         trace_max_records: Optional[int] = None,
+        strict_monitor: Optional[bool] = None,
+        monitor: Optional[MonitorSuite] = None,
     ) -> None:
         self.env = env
         self.strategy = strategy
@@ -159,13 +175,24 @@ class JobRunner:
         # exporters can interleave both record kinds on one timeline;
         # ``trace_max_records`` switches it to ring-buffer mode so long
         # campaigns cannot grow the record list without bound
+        self.strict_monitor = (
+            strict_monitor_default() if strict_monitor is None
+            else strict_monitor
+        )
+        self.monitor = monitor
+        if self.monitor is None and self.strict_monitor:
+            self.monitor = MonitorSuite()
         trace = Trace(enabled=True, max_records=trace_max_records) if (
-            telemetry is not None and telemetry.enabled
+            (telemetry is not None and telemetry.enabled)
+            or self.monitor is not None
         ) else None
+        self.trace = trace
         self.cluster = Cluster(env.cluster_spec, trace=trace,
                                telemetry=telemetry)
-        if trace is not None:
+        if trace is not None and telemetry is not None:
             telemetry.trace = trace
+        if self.monitor is not None and trace is not None:
+            self.monitor.attach(trace)
         self.service = VeloCService(
             self.cluster, use_burst_buffer=env.use_burst_buffer
         )
@@ -186,6 +213,12 @@ class JobRunner:
         # (failure watchdogs armed far in the future) may drain later
         wall = self.finish_time if self.finish_time is not None else engine.now
         tel = self.telemetry
+        violations = []
+        if self.monitor is not None:
+            self.monitor.finish()
+            violations = self.monitor.violations
+            if self.strict_monitor and violations:
+                raise InvariantViolationError(violations)
         return RunReport(
             strategy=self.strategy.name,
             app=self.app_name,
@@ -200,6 +233,7 @@ class JobRunner:
                 tel.metrics_summary() if tel is not None and tel.enabled
                 else None
             ),
+            violations=violations,
         )
 
     def _platform_counters(self) -> Dict[str, float]:
@@ -371,6 +405,8 @@ def run_heatdis_job(
     plan: Optional[FailurePlan] = None,
     telemetry: Optional[Telemetry] = None,
     trace_max_records: Optional[int] = None,
+    strict_monitor: Optional[bool] = None,
+    monitor: Optional[MonitorSuite] = None,
 ) -> RunReport:
     """Run one Heatdis job under a strategy; returns the report."""
     strategy = STRATEGIES[strategy_name]
@@ -403,7 +439,8 @@ def run_heatdis_job(
 
     runner = JobRunner(env, strategy, n_ranks, plan, build_main, "heatdis",
                        telemetry=telemetry,
-                       trace_max_records=trace_max_records)
+                       trace_max_records=trace_max_records,
+                       strict_monitor=strict_monitor, monitor=monitor)
     return runner.run()
 
 
@@ -416,6 +453,8 @@ def run_heatdis2d_job(
     plan: Optional[FailurePlan] = None,
     telemetry: Optional[Telemetry] = None,
     trace_max_records: Optional[int] = None,
+    strict_monitor: Optional[bool] = None,
+    monitor: Optional[MonitorSuite] = None,
 ) -> RunReport:
     """Run one 2-D-decomposed Heatdis job under a strategy."""
     strategy = STRATEGIES[strategy_name]
@@ -435,7 +474,8 @@ def run_heatdis2d_job(
 
     runner = JobRunner(env, strategy, n_ranks, plan, build_main, "heatdis2d",
                        telemetry=telemetry,
-                       trace_max_records=trace_max_records)
+                       trace_max_records=trace_max_records,
+                       strict_monitor=strict_monitor, monitor=monitor)
     return runner.run()
 
 
@@ -448,6 +488,8 @@ def run_minimd_job(
     plan: Optional[FailurePlan] = None,
     telemetry: Optional[Telemetry] = None,
     trace_max_records: Optional[int] = None,
+    strict_monitor: Optional[bool] = None,
+    monitor: Optional[MonitorSuite] = None,
 ) -> RunReport:
     """Run one MiniMD job under a strategy; returns the report."""
     strategy = STRATEGIES[strategy_name]
@@ -465,5 +507,6 @@ def run_minimd_job(
 
     runner = JobRunner(env, strategy, n_ranks, plan, build_main, "minimd",
                        telemetry=telemetry,
-                       trace_max_records=trace_max_records)
+                       trace_max_records=trace_max_records,
+                       strict_monitor=strict_monitor, monitor=monitor)
     return runner.run()

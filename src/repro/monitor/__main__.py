@@ -1,0 +1,263 @@
+"""Flight-recorder CLI for the protocol monitors.
+
+Usage (repository root, ``PYTHONPATH=src``)::
+
+    # replay a recorded trace file through the invariant monitors
+    python -m repro.monitor check run.trace.jsonl
+
+    # run one failure-injection job live with monitors attached,
+    # keeping the trace for post-mortem tooling
+    python -m repro.monitor check --app heatdis --strategy fenix_veloc \
+        --ranks 4 --kill-rank 1 --save-trace run.trace.jsonl
+
+    # reconstruct every rank's protocol state at a simulated time
+    python -m repro.monitor state run.trace.jsonl --at 12.5
+
+    # walk one failure from kill to re-entry
+    python -m repro.monitor explain run.trace.jsonl --rank 1
+
+    # the CI campaign: a strategy x failure matrix under strict monitors
+    python -m repro.monitor smoke --out monitor-smoke
+
+Exit codes: 0 clean, 1 invariant violations found, 2 usage/load errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Tuple
+
+from repro.monitor.base import MonitorSuite
+from repro.monitor.explain import explain_failure
+from repro.monitor.state import ProtocolStateTracker, render_state
+from repro.monitor.trace_io import read_trace, write_trace
+from repro.util.errors import ReproError
+
+APPS = ("heatdis", "heatdis2d", "minimd")
+
+#: the smoke campaign: every Fenix strategy family under one rank kill,
+#: plus the spare-exhaustion shrink path via the elastic example scale
+SMOKE_SCENARIOS: Tuple[Tuple[str, str, int], ...] = (
+    ("heatdis", "fenix_veloc", 1),
+    ("heatdis", "fenix_kr_veloc", 2),
+    ("heatdis", "fenix_kr_imr", 1),
+    ("heatdis2d", "fenix_kr_veloc", 0),
+    ("minimd", "fenix_kr_imr", 1),
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.monitor",
+        description="Check, reconstruct, and explain resilience-protocol "
+                    "traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser(
+        "check", help="replay a trace file (or a live run) through the "
+                      "invariant monitors")
+    check.add_argument("trace", nargs="?", default=None,
+                       help="trace file (JSONL); omit to run live")
+    check.add_argument("--json", action="store_true",
+                       help="machine-readable report on stdout")
+    _add_run_args(check)
+    check.add_argument("--save-trace", default=None,
+                       help="live runs: write the recorded trace here")
+
+    state = sub.add_parser(
+        "state", help="reconstruct every rank's protocol state at a time")
+    state.add_argument("trace", help="trace file (JSONL)")
+    state.add_argument("--at", type=float, default=None,
+                       help="simulated time cutoff (default: end of trace)")
+
+    explain = sub.add_parser(
+        "explain", help="walk one failure from kill to re-entry")
+    explain.add_argument("trace", help="trace file (JSONL)")
+    explain.add_argument("--rank", type=int, default=None,
+                         help="world rank whose death to explain "
+                              "(default: first kill in the trace)")
+    explain.add_argument("--occurrence", type=int, default=0,
+                         help="which kill of that rank (0-based)")
+
+    smoke = sub.add_parser(
+        "smoke", help="failure-injection campaign with strict monitors "
+                      "(the CI gate)")
+    smoke.add_argument("--out", default="monitor-smoke",
+                       help="directory for per-scenario trace files")
+    smoke.add_argument("--iters", type=int, default=30)
+    smoke.add_argument("--interval", type=int, default=10)
+    smoke.add_argument("--ranks", type=int, default=4)
+    return parser
+
+
+def _add_run_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--app", choices=APPS, default="heatdis")
+    sub.add_argument("--strategy", default="fenix_veloc")
+    sub.add_argument("--ranks", type=int, default=4)
+    sub.add_argument("--iters", type=int, default=30)
+    sub.add_argument("--interval", type=int, default=10)
+    sub.add_argument("--spares", type=int, default=1)
+    sub.add_argument("--kill-rank", type=int, default=None)
+    sub.add_argument("--kill-after-checkpoint", type=int, default=1)
+    sub.add_argument("--seed", type=int, default=20220906)
+
+
+def _run_live(app: str, strategy_name: str, n_ranks: int, iters: int,
+              interval: int, spares: int, kill_rank: Optional[int],
+              kill_after: int, seed: int) -> Tuple[MonitorSuite, object]:
+    """One monitored job; returns (suite, runner-trace)."""
+    # harness/experiments imported lazily: offline subcommands must work
+    # without them (and the package import graph stays acyclic)
+    from repro.experiments.common import paper_env
+    from repro.harness.runner import (
+        run_heatdis2d_job,
+        run_heatdis_job,
+        run_minimd_job,
+    )
+    from repro.harness.strategies import STRATEGIES
+    from repro.sim.failures import IterationFailure, NoFailures
+
+    if strategy_name not in STRATEGIES:
+        raise ReproError(
+            f"unknown strategy {strategy_name!r}; choose from: "
+            + ", ".join(sorted(STRATEGIES))
+        )
+    strategy = STRATEGIES[strategy_name]
+    n_spares = spares if strategy.fenix else 0
+    env = paper_env(n_ranks + max(n_spares, 1), n_spares=n_spares,
+                    seed=seed, pfs_servers=2)
+    plan = NoFailures()
+    if kill_rank is not None:
+        plan = IterationFailure.between_checkpoints(
+            kill_rank, interval, kill_after
+        )
+    suite = MonitorSuite()
+    # strict_monitor=False: the CLI reports violations itself (exit code)
+    # instead of letting the harness raise mid-run
+    kwargs = dict(plan=plan, strict_monitor=False, monitor=suite)
+    if app == "heatdis":
+        from repro.apps.heatdis import HeatdisConfig
+        run_heatdis_job(env, strategy_name, n_ranks,
+                        HeatdisConfig(n_iters=iters), interval, **kwargs)
+    elif app == "heatdis2d":
+        from repro.apps.heatdis2d import Heatdis2DConfig
+        run_heatdis2d_job(env, strategy_name, n_ranks,
+                          Heatdis2DConfig(n_iters=iters), interval, **kwargs)
+    else:
+        from repro.apps.minimd import MiniMDConfig
+        run_minimd_job(env, strategy_name, n_ranks,
+                       MiniMDConfig(n_steps=iters), interval, **kwargs)
+    suite.finish()
+    return suite, suite._trace
+
+
+def _check(args: argparse.Namespace) -> int:
+    suite = MonitorSuite()
+    trace = None
+    if args.trace is not None:
+        try:
+            records, meta = read_trace(args.trace)
+        except (OSError, ReproError) as exc:
+            print(f"cannot load {args.trace}: {exc}", file=sys.stderr)
+            return 2
+        suite.replay(records)
+        suite.finish()
+        suite.note_dropped(int(meta.get("dropped") or 0),
+                           tuple(meta["dropped_window"])
+                           if meta.get("dropped_window") else None)
+    else:
+        try:
+            suite, trace = _run_live(
+                args.app, args.strategy, args.ranks, args.iters,
+                args.interval, args.spares, args.kill_rank,
+                args.kill_after_checkpoint, args.seed,
+            )
+        except ReproError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if args.save_trace and trace is not None:
+            n = write_trace(args.save_trace, trace)
+            print(f"wrote {n} records to {args.save_trace}",
+                  file=sys.stderr)
+    if args.json:
+        print(json.dumps(suite.to_dict(), indent=1))
+    else:
+        print(suite.report())
+    return 1 if suite.violations else 0
+
+
+def _state(args: argparse.Namespace) -> int:
+    try:
+        records, _meta = read_trace(args.trace)
+    except (OSError, ReproError) as exc:
+        print(f"cannot load {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    tracker = ProtocolStateTracker().replay(records, at=args.at)
+    print(render_state(tracker, at=args.at))
+    return 0
+
+
+def _explain(args: argparse.Namespace) -> int:
+    try:
+        records, _meta = read_trace(args.trace)
+    except (OSError, ReproError) as exc:
+        print(f"cannot load {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    print(explain_failure(records, rank=args.rank,
+                          occurrence=args.occurrence))
+    return 0
+
+
+def _smoke(args: argparse.Namespace) -> int:
+    os.makedirs(args.out, exist_ok=True)
+    failures: List[str] = []
+    for app, strategy, kill_rank in SMOKE_SCENARIOS:
+        label = f"{app}-{strategy}-kill{kill_rank}"
+        try:
+            suite, trace = _run_live(
+                app, strategy, args.ranks, args.iters, args.interval,
+                1, kill_rank, 1, 20220906,
+            )
+        except ReproError as exc:
+            print(f"{label}: RUN FAILED: {exc}")
+            failures.append(label)
+            continue
+        path = os.path.join(args.out, f"{label}.trace.jsonl")
+        if trace is not None:
+            write_trace(path, trace)
+        if suite.violations:
+            print(f"{label}: {len(suite.violations)} violation(s) "
+                  f"(trace: {path})")
+            print(suite.report())
+            failures.append(label)
+        else:
+            print(f"{label}: clean ({path})")
+    if failures:
+        print(f"{len(failures)}/{len(SMOKE_SCENARIOS)} scenarios failed: "
+              + ", ".join(failures), file=sys.stderr)
+        return 1
+    print(f"all {len(SMOKE_SCENARIOS)} scenarios clean")
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "check":
+        return _check(args)
+    if args.command == "state":
+        return _state(args)
+    if args.command == "explain":
+        return _explain(args)
+    return _smoke(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

@@ -1,0 +1,157 @@
+"""Monitor framework: streaming per-rank protocol state machines.
+
+A :class:`ProtocolMonitor` consumes :class:`~repro.sim.trace.TraceRecord`
+rows one at a time (online, via :meth:`~repro.sim.trace.Trace.subscribe`,
+or offline by replaying a recorded trace) and accumulates
+:class:`~repro.monitor.violations.InvariantViolation` findings.  Monitors
+never raise from the feed path -- a broken protocol must not change the
+run it is observing; the harness consults :meth:`MonitorSuite.violations`
+after the engine drains and fails the run there when strict.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.monitor.violations import InvariantViolation
+from repro.sim.trace import Trace, TraceRecord
+
+#: per-layer rank sources: ``veloc.rank3``, ``imr.rank3``, ``kr.rank3``
+_LAYER_RANK = re.compile(r"^(veloc|imr|kr)\.rank(\d+)$")
+
+#: world-level liveness events (source is the world name, which varies)
+LIFECYCLE_KINDS = frozenset({
+    "rank_killed", "rank_crashed", "rank_dead", "rank_exit",
+})
+
+
+def layer_rank(source: str) -> Optional[Tuple[str, int]]:
+    """``("veloc", 3)`` for ``veloc.rank3``; None for other sources."""
+    m = _LAYER_RANK.match(source)
+    if m:
+        return (m.group(1), int(m.group(2)))
+    return None
+
+
+class ProtocolMonitor:
+    """Base class: one invariant family, one state machine."""
+
+    def __init__(self) -> None:
+        self.violations: List[InvariantViolation] = []
+
+    def feed(self, rec: TraceRecord) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def finish(self) -> None:
+        """Called once after the stream ends (end-of-run checks)."""
+
+    def violate(self, rule: str, message: str,
+                chain: Iterable[TraceRecord]) -> None:
+        chain = tuple(chain)
+        self.violations.append(InvariantViolation(
+            monitor=type(self).__name__,
+            rule=rule,
+            message=message,
+            time=chain[-1].time if chain else 0.0,
+            chain=chain,
+        ))
+
+
+class MonitorSuite:
+    """A set of monitors sharing one record stream.
+
+    Attach to a live :class:`Trace` with :meth:`attach` (online checking
+    while the simulation runs) or push a recorded stream through
+    :meth:`replay`.  Either way, call :meth:`finish` once the stream is
+    complete, then read :attr:`violations`.
+    """
+
+    def __init__(self, monitors: Optional[List[ProtocolMonitor]] = None) -> None:
+        if monitors is None:
+            from repro.monitor.monitors import standard_monitors
+            monitors = standard_monitors()
+        self.monitors = monitors
+        self._trace: Optional[Trace] = None
+        self._finished = False
+        #: ``(count, (first, last))`` of ring-buffer evictions, recorded at
+        #: finish() so reports can say what the monitors never saw
+        self.dropped: int = 0
+        self.dropped_window: Optional[Tuple[float, float]] = None
+
+    # -- streaming ---------------------------------------------------------
+
+    def feed(self, rec: TraceRecord) -> None:
+        for mon in self.monitors:
+            mon.feed(rec)
+
+    def attach(self, trace: Trace) -> None:
+        """Subscribe to a live trace (records already held are fed first,
+        so attaching mid-run does not blind the monitors)."""
+        for rec in trace:
+            self.feed(rec)
+        trace.subscribe(self.feed)
+        self._trace = trace
+
+    def detach(self) -> None:
+        if self._trace is not None:
+            self._trace.unsubscribe(self.feed)
+
+    def replay(self, records: Iterable[TraceRecord]) -> "MonitorSuite":
+        for rec in records:
+            self.feed(rec)
+        return self
+
+    def finish(self) -> None:
+        """End-of-stream: run final checks and capture drop accounting."""
+        if self._finished:
+            return
+        self._finished = True
+        if self._trace is not None:
+            self.dropped = self._trace.dropped
+            self.dropped_window = self._trace.dropped_window
+            self.detach()
+        for mon in self.monitors:
+            mon.finish()
+
+    # -- results ------------------------------------------------------------
+
+    @property
+    def violations(self) -> List[InvariantViolation]:
+        out: List[InvariantViolation] = []
+        for mon in self.monitors:
+            out.extend(mon.violations)
+        out.sort(key=lambda v: (v.time, v.monitor, v.rule))
+        return out
+
+    def note_dropped(self, count: int,
+                     window: Optional[Tuple[float, float]]) -> None:
+        """Record drop accounting for replays of truncated trace files."""
+        self.dropped = count
+        self.dropped_window = window
+
+    def report(self) -> str:
+        lines: List[str] = []
+        if self.dropped:
+            lo, hi = self.dropped_window or (float("nan"), float("nan"))
+            lines.append(
+                f"WARNING: trace ring buffer dropped {self.dropped} "
+                f"record(s) in t=[{lo:.6f}, {hi:.6f}]; monitors did not "
+                "see that window"
+            )
+        violations = self.violations
+        if not violations:
+            lines.append("no invariant violations")
+        else:
+            lines.append(f"{len(violations)} invariant violation(s):")
+            for v in violations:
+                lines.append(v.render())
+        return "\n".join(lines)
+
+    def to_dict(self) -> Any:
+        return {
+            "dropped": self.dropped,
+            "dropped_window": list(self.dropped_window)
+            if self.dropped_window else None,
+            "violations": [v.to_dict() for v in self.violations],
+        }

@@ -1,0 +1,119 @@
+"""Flight-recorder trace files: JSONL persistence for Trace records.
+
+One JSON object per line.  The first line is a meta header carrying the
+ring-buffer drop accounting, so a reader of a truncated trace knows the
+bounds of what is missing::
+
+    {"meta": {"version": 1, "dropped": 12, "dropped_window": [0.1, 0.4]}}
+    {"seq": 13, "time": 0.41, "source": "fenix", "kind": "repair", ...}
+
+Tuples inside record fields (e.g. VeloC flush keys) become JSON lists on
+the way out; monitors normalize on the way back in, so a replayed trace
+checks identically to a live one.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.sim.trace import Trace, TraceRecord
+from repro.util.errors import ConfigError
+
+FORMAT_VERSION = 1
+
+
+def _record_to_obj(rec: TraceRecord) -> Dict[str, Any]:
+    return {
+        "seq": rec.seq,
+        "time": rec.time,
+        "source": rec.source,
+        "kind": rec.kind,
+        "fields": rec.fields,
+    }
+
+
+def _json_default(value: Any) -> Any:
+    if isinstance(value, (set, frozenset, tuple)):
+        return list(value)
+    return repr(value)
+
+
+def write_trace(path: str, trace: Trace) -> int:
+    """Write every held record (plus the drop header); returns the count."""
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        meta: Dict[str, Any] = {
+            "version": FORMAT_VERSION,
+            "dropped": trace.dropped,
+            "dropped_window": list(trace.dropped_window)
+            if trace.dropped_window else None,
+        }
+        fh.write(json.dumps({"meta": meta}, default=_json_default) + "\n")
+        for rec in trace:
+            fh.write(json.dumps(_record_to_obj(rec), default=_json_default)
+                     + "\n")
+            n += 1
+    return n
+
+
+def read_trace(path: str) -> Tuple[List[TraceRecord], Dict[str, Any]]:
+    """Load a trace file; returns ``(records, meta)``.
+
+    ``meta`` holds at least ``dropped`` (int) and ``dropped_window``
+    (``[first, last]`` or None); files written by other tools without a
+    header are accepted with zeroed meta.
+    """
+    records: List[TraceRecord] = []
+    meta: Dict[str, Any] = {"dropped": 0, "dropped_window": None}
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigError(
+                    f"{path}:{lineno}: not valid JSON ({exc.msg})"
+                ) from exc
+            if "meta" in obj and lineno == 1:
+                meta.update(obj["meta"])
+                continue
+            try:
+                records.append(TraceRecord(
+                    time=float(obj["time"]),
+                    source=str(obj["source"]),
+                    kind=str(obj["kind"]),
+                    fields=dict(obj.get("fields", {})),
+                    seq=int(obj.get("seq", -1)),
+                ))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ConfigError(
+                    f"{path}:{lineno}: malformed trace record ({exc})"
+                ) from exc
+    return records, meta
+
+
+def load_trace(path: str) -> Trace:
+    """Load a file into a live :class:`Trace` (queryable, exportable)."""
+    records, meta = read_trace(path)
+    trace = Trace(enabled=True)
+    for rec in records:
+        trace.emit(rec.time, rec.source, rec.kind, **rec.fields)
+    trace.dropped = int(meta.get("dropped") or 0)
+    window = meta.get("dropped_window")
+    if window:
+        trace._dropped_first, trace._dropped_last = window[0], window[1]
+    return trace
+
+
+def records_from(source: "Trace | Iterable[TraceRecord]") -> List[TraceRecord]:
+    return list(source)
+
+
+def dropped_of(source: "Trace | Any") -> Tuple[int, Optional[Tuple[float, float]]]:
+    """Drop accounting of a live Trace (duck-typed for loaded metas)."""
+    dropped = getattr(source, "dropped", 0)
+    window = getattr(source, "dropped_window", None)
+    return dropped, window

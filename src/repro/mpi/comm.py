@@ -157,6 +157,12 @@ class Communicator:
             self, f"{self.name}.shrink", self._finalize_shrink
         )
         world.register_comm(self)
+        # membership record: protocol monitors resolve comm-local ranks
+        # (checkpoint keys, IMR slots) back to world ranks through this
+        world.trace.emit(
+            world.engine.now, self.name, "comm_create",
+            members=list(members),
+        )
 
     # -- group queries ---------------------------------------------------
 
@@ -396,7 +402,13 @@ class Communicator:
 
     def _finalize_agree(self, contributions: Dict[int, Any]) -> Any:
         flag = all(bool(v) for v in contributions.values())
-        return (flag, frozenset(self.failed_members()))
+        failed = self.failed_members()
+        self.world.trace.emit(
+            self.world.engine.now, self.name, "agree",
+            flag=flag, revoked=self.revoked, failed=sorted(failed),
+            contributors=sorted(contributions),
+        )
+        return (flag, frozenset(failed))
 
     def shrink_gate(self, comm_rank: int) -> Event:
         """MPI_Comm_shrink: collective over survivors; event succeeds with a
@@ -407,6 +419,11 @@ class Communicator:
     def _finalize_shrink(self, contributions: Dict[int, Any]) -> "Communicator":
         survivors = [self._world_of[i] for i in sorted(contributions.keys())
                      if self.is_alive(i)]
+        self.world.trace.emit(
+            self.world.engine.now, self.name, "shrink",
+            revoked=self.revoked, survivors=list(survivors),
+            failed=sorted(self.failed_members()),
+        )
         return Communicator(
             self.world, survivors, name=f"{self.name}.shrunk"
         )

@@ -4,13 +4,32 @@ Components append :class:`TraceRecord` rows (simulated time, source,
 kind, free-form fields); experiments and tests query them to assert
 protocol-level facts ("the VeloC server flushed after the checkpoint call
 returned", "revoke reached every rank") without coupling to internals.
+
+Two consumers shaped this module's API:
+
+- **post-mortem queries** (``records``/``first``/``last``/``count``) are
+  served from a per-kind index maintained incrementally on emit, so
+  replaying a large trace stays O(records of that kind), not O(all);
+- **online monitors** (:mod:`repro.monitor`) subscribe with
+  :meth:`Trace.subscribe` and see every record the moment it is emitted,
+  which lets protocol invariants fail a run *while it executes* instead
+  of after the fact.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.util.errors import ConfigError
 
@@ -21,18 +40,31 @@ class TraceRecord:
     source: str
     kind: str
     fields: Dict[str, Any] = field(default_factory=dict)
+    #: emission sequence number, assigned by the owning Trace (-1 for
+    #: records built by hand); names the record in invariant reports
+    seq: int = -1
 
     def __getitem__(self, key: str) -> Any:
         return self.fields[key]
 
+    def brief(self) -> str:
+        """Compact one-line rendering, used in violation causal chains."""
+        parts = [f"{k}={v}" for k, v in self.fields.items()]
+        detail = f" {' '.join(parts)}" if parts else ""
+        return f"#{self.seq} t={self.time:.6f} {self.source} {self.kind}{detail}"
+
 
 class Trace:
-    """Append-only trace with simple query helpers.
+    """Append-only trace with query helpers and live subscriptions.
 
     ``max_records`` switches on ring-buffer mode: the trace keeps only
     the newest N records and counts evictions in :attr:`dropped`, so
     long failure campaigns cannot grow memory without bound.  The
     default stays unbounded (tests assert on complete histories).
+    When records have been dropped, :attr:`dropped_window` reports the
+    simulated-time bounds of the evicted region so consumers (monitors,
+    exporters) can say *what they did not see* instead of silently
+    presenting a truncated view.
     """
 
     def __init__(self, enabled: bool = True,
@@ -44,13 +76,61 @@ class Trace:
         self._records: Deque[TraceRecord] = deque(maxlen=max_records)
         #: records evicted by the ring buffer since the last clear()
         self.dropped = 0
+        #: simulated-time span [first, last] of evicted records
+        self._dropped_first: Optional[float] = None
+        self._dropped_last: Optional[float] = None
+        self._seq = 0
+        #: per-kind index kept in lockstep with the ring (deques so ring
+        #: eviction pops the oldest entry of the evicted record's kind)
+        self._by_kind: Dict[str, Deque[TraceRecord]] = {}
+        self._listeners: List[Callable[[TraceRecord], None]] = []
 
-    def emit(self, time: float, source: str, kind: str, **fields: Any) -> None:
-        if self.enabled:
-            if (self.max_records is not None
-                    and len(self._records) == self.max_records):
-                self.dropped += 1
-            self._records.append(TraceRecord(time, source, kind, fields))
+    # -- subscriptions ---------------------------------------------------
+
+    def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Register a callback invoked synchronously on every emit.
+
+        This is the online-monitoring hook: :class:`repro.monitor`
+        state machines attach here to check invariants as the run
+        executes.  Listeners must not raise for flow control; they
+        collect findings and report at the end."""
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    # -- recording -------------------------------------------------------
+
+    def emit(self, time: float, source: str, kind: str,
+             **fields: Any) -> Optional[TraceRecord]:
+        if not self.enabled:
+            return None
+        if (self.max_records is not None
+                and len(self._records) == self.max_records):
+            evicted = self._records[0]
+            self.dropped += 1
+            if self._dropped_first is None:
+                self._dropped_first = evicted.time
+            self._dropped_last = evicted.time
+            kind_q = self._by_kind.get(evicted.kind)
+            if kind_q:
+                kind_q.popleft()
+        self._seq += 1
+        rec = TraceRecord(time, source, kind, fields, seq=self._seq)
+        self._records.append(rec)
+        self._by_kind.setdefault(kind, deque()).append(rec)
+        for listener in self._listeners:
+            listener(rec)
+        return rec
+
+    @property
+    def dropped_window(self) -> Optional[Tuple[float, float]]:
+        """``(first, last)`` simulated times of evicted records, or
+        ``None`` when nothing has been dropped."""
+        if self.dropped == 0 or self._dropped_first is None:
+            return None
+        return (self._dropped_first, self._dropped_last)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -64,10 +144,12 @@ class Trace:
         source: Optional[str] = None,
         predicate: Optional[Callable[[TraceRecord], bool]] = None,
     ) -> List[TraceRecord]:
+        # narrow by the per-kind index first: post-mortem replay over a
+        # large trace then touches only records of the requested kind
+        pool: Any = self._by_kind.get(kind, ()) if kind is not None \
+            else self._records
         out = []
-        for rec in self._records:
-            if kind is not None and rec.kind != kind:
-                continue
+        for rec in pool:
             if source is not None and rec.source != source:
                 continue
             if predicate is not None and not predicate(rec):
@@ -76,20 +158,23 @@ class Trace:
         return out
 
     def first(self, kind: str) -> Optional[TraceRecord]:
-        for rec in self._records:
-            if rec.kind == kind:
-                return rec
-        return None
+        kind_q = self._by_kind.get(kind)
+        return kind_q[0] if kind_q else None
 
     def last(self, kind: str) -> Optional[TraceRecord]:
-        for rec in reversed(self._records):
-            if rec.kind == kind:
-                return rec
-        return None
+        kind_q = self._by_kind.get(kind)
+        return kind_q[-1] if kind_q else None
 
     def count(self, kind: str) -> int:
-        return sum(1 for rec in self._records if rec.kind == kind)
+        return len(self._by_kind.get(kind, ()))
+
+    def kinds(self) -> List[str]:
+        """Event kinds currently held (sorted)."""
+        return sorted(k for k, q in self._by_kind.items() if q)
 
     def clear(self) -> None:
         self._records.clear()
+        self._by_kind.clear()
         self.dropped = 0
+        self._dropped_first = None
+        self._dropped_last = None

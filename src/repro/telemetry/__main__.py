@@ -25,6 +25,7 @@ from typing import Optional
 from repro.telemetry.collector import Telemetry
 from repro.telemetry.export import (
     diff_metrics,
+    out_of_tolerance,
     validate_chrome_trace,
     write_chrome_trace,
     write_metrics,
@@ -71,6 +72,10 @@ def _build_parser() -> argparse.ArgumentParser:
     diff = sub.add_parser("diff", help="compare two metrics.json files")
     diff.add_argument("a")
     diff.add_argument("b")
+    diff.add_argument("--tolerance", type=float, default=0.0,
+                      help="relative tolerance (0.05 = within 5%%); exits "
+                           "non-zero when any metric differs by more "
+                           "(default 0: any difference fails)")
     return parser
 
 
@@ -199,11 +204,19 @@ def _diff(args: argparse.Namespace) -> int:
     if not rows:
         print("metrics identical")
         return 0
+    failing = {r[0] for r in out_of_tolerance(rows, args.tolerance)}
     width = max(len(r[0]) for r in rows)
     for name, va, vb in rows:
         fa = "absent" if va is None else f"{va:g}"
         fb = "absent" if vb is None else f"{vb:g}"
-        print(f"{name:<{width}}  {fa} -> {fb}")
+        marker = "  OUT-OF-TOLERANCE" if name in failing else ""
+        print(f"{name:<{width}}  {fa} -> {fb}{marker}")
+    if failing:
+        print(f"{len(failing)} metric(s) beyond tolerance "
+              f"{args.tolerance:g}", file=sys.stderr)
+        return 1
+    print(f"{len(rows)} difference(s), all within tolerance "
+          f"{args.tolerance:g}")
     return 0
 
 

@@ -117,6 +117,28 @@ def chrome_trace_events(telemetry: Any, trace: Any = None) -> List[Dict]:
                     "args": dict(_json_safe(tr.fields)),
                 },
             ))
+        dropped = getattr(trace, "dropped", 0)
+        if dropped:
+            # ring-buffer honesty: a truncated trace must say so in the
+            # export instead of silently presenting a complete-looking view
+            window = getattr(trace, "dropped_window", None) or (0.0, 0.0)
+            raw.append((
+                window[1],
+                "trace",
+                {
+                    "name": "trace_dropped",
+                    "cat": "trace",
+                    "ph": "i",
+                    "s": "g",  # global scope: the whole view is affected
+                    "ts": window[1] * 1e6,
+                    "args": {
+                        "dropped": dropped,
+                        "window": [window[0], window[1]],
+                        "note": "ring buffer evicted records in this "
+                                "window; earlier events are incomplete",
+                    },
+                },
+            ))
 
     tracks = sorted({track for _, track, _ in raw}, key=_track_sort_key)
     tids = {track: i for i, track in enumerate(tracks)}
@@ -246,3 +268,25 @@ def diff_metrics(a: Dict, b: Dict) -> List[Tuple[str, Optional[float], Optional[
         if va != vb:
             rows.append((key, va, vb))
     return rows
+
+
+def out_of_tolerance(
+    rows: List[Tuple[str, Optional[float], Optional[float]]],
+    tolerance: float,
+) -> List[Tuple[str, Optional[float], Optional[float]]]:
+    """Diff rows whose relative difference exceeds ``tolerance``.
+
+    A metric absent on one side is always out of tolerance (structural
+    difference, not noise).  ``tolerance`` is relative to the larger
+    magnitude, so 0.05 means "within 5%"; 0.0 means byte-for-byte."""
+    out = []
+    for key, va, vb in rows:
+        if va is None or vb is None:
+            out.append((key, va, vb))
+            continue
+        scale = max(abs(va), abs(vb))
+        if scale == 0.0:
+            continue
+        if abs(va - vb) / scale > tolerance:
+            out.append((key, va, vb))
+    return out

@@ -16,8 +16,12 @@ from typing import Any, List, Optional, Tuple
 FAILURE_PATTERN = (
     r"kill|killed|dead|crash|detect|revoke|shrink|agree|repair|role|spare|"
     r"restart|recover|restore|recompute|abort|flush|drain|checkpoint|"
-    r"region|reset|submit"
+    r"region|reset|submit|dropped|gate|finalize"
 )
+
+#: row marker for annotations that must survive any event filter
+#: (currently only the ring-buffer drop notice)
+ANNOTATION_TAG = "!"
 
 
 def _rows(telemetry: Any, trace: Any) -> List[Tuple[float, int, str, str, str]]:
@@ -43,7 +47,38 @@ def _rows(telemetry: Any, trace: Any) -> List[Tuple[float, int, str, str, str]]:
             detail = _fields_text(tr.fields)
             rows.append((tr.time, 10**9 + i, tr.source, ".", tr.kind
                          + (f" {detail}" if detail else "")))
+        rows.extend(dropped_rows(trace))
     return rows
+
+
+def dropped_rows(trace: Any) -> List[Tuple[float, int, str, str, str]]:
+    """Annotation rows reporting ring-buffer evictions (empty if none).
+
+    Placed at the end of the dropped window so the reader sees, in time
+    order, exactly where the visible record stream resumes."""
+    dropped = getattr(trace, "dropped", 0)
+    window = getattr(trace, "dropped_window", None)
+    if not dropped:
+        return []
+    lo, hi = window if window is not None else (float("nan"), float("nan"))
+    return [(
+        hi, -1, "trace", ANNOTATION_TAG,
+        f"trace_dropped ({dropped} records evicted in "
+        f"t=[{lo:.6f}, {hi:.6f}]; events before this point are incomplete)",
+    )]
+
+
+def format_rows(rows: List[Tuple[float, int, str, str, str]]) -> str:
+    """Render pre-filtered ``(time, tiebreak, source, tag, text)`` rows as
+    the aligned text listing (shared by the timeline and by
+    ``repro.monitor``'s recovery explainer)."""
+    if not rows:
+        return "(no events)"
+    src_width = max(len(r[2]) for r in rows)
+    lines = [f"{'time(s)':>14}  {'source':<{src_width}}  event"]
+    for time, _tb, source, tag, text in rows:
+        lines.append(f"{time:14.6f}  {source:<{src_width}}  {tag} {text}")
+    return "\n".join(lines)
 
 
 def _fields_text(fields: dict) -> str:
@@ -79,20 +114,17 @@ def render_timeline(
     rows = _rows(telemetry, trace)
     if only is not None:
         pat = re.compile(only)
-        rows = [r for r in rows if pat.search(r[4])]
+        # annotation rows (dropped-window notices) survive every filter:
+        # hiding them would misrepresent a truncated trace as complete
+        rows = [r for r in rows if r[3] == ANNOTATION_TAG or pat.search(r[4])]
     if sources is not None:
         allowed = set(sources)
-        rows = [r for r in rows if r[2] in allowed]
+        rows = [r for r in rows
+                if r[3] == ANNOTATION_TAG or r[2] in allowed]
     rows.sort(key=lambda r: (r[0], r[1]))
     if limit is not None:
         rows = rows[:limit]
-    if not rows:
-        return "(no events)"
-    src_width = max(len(r[2]) for r in rows)
-    lines = [f"{'time(s)':>14}  {'source':<{src_width}}  event"]
-    for time, _tb, source, tag, text in rows:
-        lines.append(f"{time:14.6f}  {source:<{src_width}}  {tag} {text}")
-    return "\n".join(lines)
+    return format_rows(rows)
 
 
 def failure_timeline(telemetry: Any, trace: Any = None,

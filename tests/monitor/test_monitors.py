@@ -1,0 +1,92 @@
+"""Clean protocol executions pass every invariant monitor.
+
+Covers the acceptance criterion that the paper's failure-injection
+scenarios (reduced scale) run violation-free under ``strict_monitor``,
+including the PROTOCOLS.md §4 spare-exhaustion shrink path and deaths
+arriving during the repair-gate wait.
+"""
+
+from repro.monitor import MonitorSuite, standard_monitors
+from repro.sim import IterationFailure
+from tests.monitor.conftest import run_elastic_monitored, run_monitored
+
+
+class TestCleanRuns:
+    def test_fenix_veloc_failure_run_is_clean(self, veloc_run):
+        report, suite, records = veloc_run
+        assert report.failures == 1
+        assert suite.violations == []
+        assert report.violations == []
+
+    def test_fenix_kr_imr_failure_run_is_clean(self, imr_run):
+        report, suite, records = imr_run
+        assert suite.violations == []
+        # the interesting protocol actually happened
+        kinds = {r.kind for r in records}
+        assert {"revoke", "repair", "role", "imr_buddy_recv"} <= kinds
+
+    def test_fenix_kr_veloc_and_minimd_are_clean(self):
+        for strategy, app in (("fenix_kr_veloc", "heatdis"),
+                              ("fenix_kr_imr", "minimd")):
+            report, suite, _ = run_monitored(strategy, app=app)
+            assert suite.violations == [], (strategy, app)
+
+    def test_replay_equals_online(self, veloc_run):
+        """Replaying the recorded stream reports exactly what the live
+        subscription did (monitors are deterministic state machines)."""
+        _report, live, records = veloc_run
+        replayed = MonitorSuite(standard_monitors()).replay(records)
+        replayed.finish()
+        assert ([ (v.monitor, v.rule) for v in replayed.violations ]
+                == [ (v.monitor, v.rule) for v in live.violations ])
+
+
+class TestShrinkPath:
+    def test_spare_exhaustion_shrink_is_clean(self, shrink_run):
+        suite, system, records = shrink_run
+        assert system.resilient_comm.size == 2
+        assert suite.violations == []
+        kinds = {r.kind for r in records}
+        assert {"revoke", "shrink", "repair", "role"} <= kinds
+
+    def test_two_sequential_shrinks_are_clean(self):
+        """Two failures, two generations -- including a death arriving
+        while the protocol is between repairs."""
+        suite, system, _ = run_elastic_monitored(
+            4, IterationFailure([(1, 8), (2, 20)])
+        )
+        assert system.resilient_comm.size == 2
+        assert suite.violations == []
+
+
+class TestSuiteMechanics:
+    def test_attach_feeds_preexisting_records(self):
+        from repro.sim.trace import Trace
+        tr = Trace()
+        tr.emit(0.0, "fenix", "role", rank=0, role="RECOVERED", generation=0)
+        suite = MonitorSuite()
+        suite.attach(tr)  # the illegal record predates the attach
+        suite.finish()
+        assert any(v.rule == "illegal-role-edge" for v in suite.violations)
+
+    def test_finish_detaches_and_is_idempotent(self):
+        from repro.sim.trace import Trace
+        tr = Trace()
+        suite = MonitorSuite()
+        suite.attach(tr)
+        suite.finish()
+        suite.finish()
+        tr.emit(0.0, "fenix", "role", rank=0, role="RECOVERED", generation=0)
+        assert suite.violations == []  # no longer listening
+
+    def test_dropped_window_reported(self):
+        from repro.sim.trace import Trace
+        tr = Trace(max_records=2)
+        suite = MonitorSuite()
+        suite.attach(tr)
+        for i in range(5):
+            tr.emit(float(i), "s", "k")
+        suite.finish()
+        assert suite.dropped == 3
+        assert suite.dropped_window == (0.0, 2.0)
+        assert "dropped 3" in suite.report()

@@ -115,3 +115,118 @@ class TestRingBuffer:
         assert tr.first("old") is None
         assert tr.count("new") == 1
         assert tr.last("newer") is not None
+
+    def test_dropped_window_bounds(self):
+        tr = Trace(max_records=2)
+        assert tr.dropped_window is None
+        for i in range(5):
+            tr.emit(float(i), "s", "k")
+        # records at t=0,1,2 were evicted
+        assert tr.dropped == 3
+        assert tr.dropped_window == (0.0, 2.0)
+        tr.clear()
+        assert tr.dropped_window is None
+
+
+class TestSubscription:
+    def test_listener_sees_each_record(self):
+        tr = Trace()
+        seen = []
+        tr.subscribe(seen.append)
+        tr.emit(0.0, "s", "a")
+        tr.emit(1.0, "s", "b")
+        assert [r.kind for r in seen] == ["a", "b"]
+
+    def test_unsubscribe_stops_delivery(self):
+        tr = Trace()
+        seen = []
+        tr.subscribe(seen.append)
+        tr.emit(0.0, "s", "a")
+        tr.unsubscribe(seen.append)
+        tr.emit(1.0, "s", "b")
+        assert [r.kind for r in seen] == ["a"]
+
+    def test_listener_receives_stored_record(self):
+        """The delivered object is the stored record (seq assigned)."""
+        tr = Trace()
+        seen = []
+        tr.subscribe(seen.append)
+        rec = tr.emit(0.0, "s", "a")
+        assert seen[0] is rec
+        assert seen[0].seq == 1
+
+    def test_disabled_trace_notifies_nobody(self):
+        tr = Trace(enabled=False)
+        seen = []
+        tr.subscribe(seen.append)
+        tr.emit(0.0, "s", "a")
+        assert seen == []
+
+
+class TestSeqAndBrief:
+    def test_seq_is_monotonic_across_eviction(self):
+        tr = Trace(max_records=3)
+        for i in range(7):
+            tr.emit(float(i), "s", "k")
+        assert [r.seq for r in tr] == [5, 6, 7]
+
+    def test_brief(self):
+        tr = Trace()
+        rec = tr.emit(1.5, "fenix", "repair", generation=2)
+        text = rec.brief()
+        assert "#1" in text
+        assert "t=1.5" in text
+        assert "fenix" in text and "repair" in text
+        assert "generation=2" in text
+
+
+class TestKindIndex:
+    def test_kinds_enumerates_live_kinds(self):
+        tr = make_trace()
+        assert set(tr.kinds()) == {"detect", "checkpoint", "repair"}
+
+    def test_index_matches_scan_after_eviction(self):
+        tr = Trace(max_records=10)
+        for i in range(50):
+            tr.emit(float(i), "s", "even" if i % 2 == 0 else "odd")
+        for kind in ("even", "odd"):
+            scan = [r for r in tr if r.kind == kind]
+            assert tr.records(kind=kind) == scan
+            assert tr.count(kind) == len(scan)
+            assert tr.first(kind) is (scan[0] if scan else None)
+            assert tr.last(kind) is (scan[-1] if scan else None)
+
+    def test_fully_evicted_kind_disappears(self):
+        tr = Trace(max_records=2)
+        tr.emit(0.0, "s", "early")
+        tr.emit(1.0, "s", "late")
+        tr.emit(2.0, "s", "late")
+        assert "early" not in tr.kinds()
+        assert tr.count("early") == 0
+
+    def test_indexed_queries_beat_full_scan(self):
+        """Perf smoke for the per-kind index: first/last/count of a rare
+        kind must not scale with total trace size (BENCH guards the
+        absolute numbers; this is the tier-1 sanity check)."""
+        import time
+
+        tr = Trace()
+        for i in range(20000):
+            tr.emit(float(i), "s", f"bulk{i % 7}")
+        tr.emit(99999.0, "fenix", "repair", generation=1)
+
+        t0 = time.perf_counter()
+        for _ in range(2000):
+            tr.count("repair")
+            tr.first("repair")
+            tr.last("repair")
+        indexed = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        for _ in range(20):
+            sum(1 for r in tr if r.kind == "repair")
+        scan = (time.perf_counter() - t0) / 20
+
+        # 2000 indexed lookups must cost far less than 2000 scans would;
+        # generous 100x headroom keeps this robust on loaded CI hosts
+        assert indexed < 2000 * scan / 100

@@ -58,11 +58,35 @@ class TestDiffCommand:
         assert main(["diff", str(a), str(a)]) == 0
         assert "identical" in capsys.readouterr().out
 
-    def test_differing(self, tmp_path, capsys):
+    def test_differing_fails_at_default_tolerance(self, tmp_path, capsys):
         a, b = tmp_path / "a.json", tmp_path / "b.json"
         self._write(a, {"x": 1.0})
         self._write(b, {"x": 2.0, "y": 5.0})
-        assert main(["diff", str(a), str(b)]) == 0
+        assert main(["diff", str(a), str(b)]) == 1
         out = capsys.readouterr().out
         assert "counter:x" in out
         assert "absent -> 5" in out
+        assert "OUT-OF-TOLERANCE" in out
+
+    def test_within_tolerance_passes(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write(a, {"x": 100.0})
+        self._write(b, {"x": 104.0})  # 3.8% relative to max(|a|,|b|)
+        assert main(["diff", str(a), str(b), "--tolerance", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "OUT-OF-TOLERANCE" not in out
+        assert "all within tolerance" in out
+
+    def test_beyond_tolerance_fails(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write(a, {"x": 100.0})
+        self._write(b, {"x": 120.0})
+        assert main(["diff", str(a), str(b), "--tolerance", "0.05"]) == 1
+        assert "OUT-OF-TOLERANCE" in capsys.readouterr().out
+
+    def test_absent_metric_always_out_of_tolerance(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write(a, {"x": 1.0, "gone": 3.0})
+        self._write(b, {"x": 1.0})
+        assert main(["diff", str(a), str(b), "--tolerance", "0.5"]) == 1
+        assert "3 -> absent" in capsys.readouterr().out

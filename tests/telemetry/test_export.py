@@ -193,3 +193,52 @@ class TestMetricsExport:
         a.inc("x", 1)
         doc = metrics_to_dict(a)
         assert diff_metrics(doc, doc) == []
+
+
+class TestDroppedAnnotations:
+    def make_dropped_trace(self):
+        trace = Trace(max_records=2)
+        for i in range(5):
+            trace.emit(float(i), "world", "rank_killed", rank=i)
+        return trace  # t=0,1,2 evicted; window (0.0, 2.0)
+
+    def test_chrome_export_emits_trace_dropped_instant(self):
+        tel, _ = make_telemetry()
+        trace = self.make_dropped_trace()
+        events = chrome_trace_events(tel, trace=trace)
+        drops = [e for e in events if e.get("name") == "trace_dropped"]
+        assert len(drops) == 1
+        ev = drops[0]
+        assert ev["ph"] == "i" and ev["s"] == "g"
+        assert ev["args"]["dropped"] == 3
+        assert ev["args"]["window"] == [0.0, 2.0]
+        assert ev["ts"] == 2.0 * 1e6
+
+    def test_chrome_export_validates_with_drop_marker(self):
+        tel, _ = make_telemetry()
+        doc = to_chrome_trace(tel, trace=self.make_dropped_trace())
+        assert validate_chrome_trace(doc) == []
+
+    def test_no_marker_without_drops(self):
+        tel, _ = make_telemetry()
+        trace = Trace()
+        trace.emit(0.0, "world", "rank_killed", rank=0)
+        events = chrome_trace_events(tel, trace=trace)
+        assert not any(e.get("name") == "trace_dropped" for e in events)
+
+    def test_timeline_annotation_row(self):
+        tel, _ = make_telemetry()
+        text = render_timeline(tel, trace=self.make_dropped_trace())
+        assert "trace_dropped" in text
+        assert "3 records evicted" in text
+
+    def test_annotation_survives_failure_filter(self):
+        tel, _ = make_telemetry()
+        text = failure_timeline(tel, trace=self.make_dropped_trace())
+        assert "trace_dropped" in text
+
+    def test_annotation_survives_sources_filter(self):
+        tel, _ = make_telemetry()
+        text = render_timeline(tel, trace=self.make_dropped_trace(),
+                               sources=["rank1"])
+        assert "trace_dropped" in text
