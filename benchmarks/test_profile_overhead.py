@@ -1,0 +1,103 @@
+"""Profiler overhead: analysis-path cost and the disabled-path budget.
+
+Two concerns, one file:
+
+- the **disabled path**: the span guards added for the profiler sit on
+  the simulator's hot paths (``compute``, every MPI op, checkpoint and
+  recovery calls); ``test_untelemetered_job_wall_clock`` runs a whole
+  failure-injection job with telemetry *off*, so any cost leaking past
+  the ``tel.enabled`` checks shows up here.  Its baseline is committed
+  in ``BENCH_simulator.json`` and the CI ``profile-smoke`` job gates it
+  at a 5% budget (tighter than the general 30% gate: this path is
+  supposed to be free);
+- the **analysis path**: building the ledger and folding flame-graph
+  stacks over a large synthetic span stream must stay roughly linear in
+  the record count -- these benchmarks give regressions in the sweep or
+  the stack walk a place to show up.
+"""
+
+import pytest
+
+from repro.apps.heatdis import HeatdisConfig
+from repro.experiments.common import paper_env
+from repro.harness.runner import run_heatdis_job
+from repro.profile.flamegraph import folded_stacks
+from repro.profile.ledger import build_ledger
+from repro.sim.failures import IterationFailure
+from repro.telemetry import Telemetry
+
+N_RANKS = 8
+N_SPANS_PER_RANK = 2_000
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+
+def synthetic_stream(n_ranks=N_RANKS, per_rank=N_SPANS_PER_RANK):
+    """A tracer loaded like a long campaign: nested compute/mpi/ckpt
+    spans plus recovery windows, ~n_ranks * per_rank records."""
+    tel = Telemetry(enabled=True)
+    clock = _Clock()
+    tel.tracer.bind(clock)
+    for rank in range(n_ranks):
+        src = f"rank{rank}"
+        t = 0.0
+        for i in range(per_rank // 4):
+            clock.now = t
+            with tel.span(src, "kr.region", iteration=i):
+                clock.now = t + 0.1
+                with tel.span(src, "compute", kind="app_compute",
+                              congestion=0.01):
+                    clock.now = t + 0.6
+                with tel.span(src, "mpi.sendrecv"):
+                    clock.now = t + 0.8
+                if i % 10 == 0:
+                    with tel.span(src, "kr.commit", version=i):
+                        clock.now = t + 0.9
+            t += 1.0
+        clock.now = t
+        tel.instant(src, "rank_dead")
+    return tel
+
+
+@pytest.fixture(scope="module")
+def loaded_stream():
+    return synthetic_stream()
+
+
+@pytest.mark.benchmark(group="profile")
+def test_ledger_build_throughput(benchmark, loaded_stream):
+    """Sweep-attribution cost over ~16k spans on 8 rank timelines."""
+    ledger = benchmark(build_ledger, loaded_stream)
+    assert len(ledger.ranks) == N_RANKS
+    for rl in ledger.ranks.values():
+        assert abs(rl.residual) <= 1e-9 * max(1.0, rl.makespan)
+
+
+@pytest.mark.benchmark(group="profile")
+def test_flamegraph_fold_throughput(benchmark, loaded_stream):
+    """Folded-stack walk over the same stream."""
+    stacks = benchmark(folded_stacks, loaded_stream)
+    assert stacks
+    assert any(s.count(";") >= 2 for s in stacks)
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_untelemetered_job_wall_clock(benchmark):
+    """The disabled path: a full failure-injection job with telemetry
+    off.  Every profiler guard on the hot paths runs, none may record.
+    Gated at 5% against the committed baseline by CI's profile-smoke."""
+
+    def run():
+        env = paper_env(5, n_spares=1, pfs_servers=2)
+        cfg = HeatdisConfig(n_iters=30, modeled_bytes_per_rank=8e6)
+        plan = IterationFailure.between_checkpoints(2, 10, 1)
+        report = run_heatdis_job(env, "fenix_kr_veloc", 4, cfg, 10,
+                                 plan=plan)
+        assert report.telemetry is None
+        return report.wall_time
+
+    wall = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert wall > 0.0

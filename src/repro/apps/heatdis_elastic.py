@@ -190,11 +190,18 @@ def make_elastic_heatdis_main(
     ckpt_interval: int,
     failure_plan: Any = None,
     results: Optional[Dict[int, Any]] = None,
+    tracker: Any = None,
 ):
     """Build the elastic main: run under ``FenixSystem(n_spares=0,
     spare_policy='shrink')``.  ``total_rows`` fixes the global problem
     regardless of how many ranks remain; ``initial_ranks`` anchors the
-    per-row compute cost model."""
+    per-row compute cost model.
+
+    ``tracker`` (a :class:`~repro.harness.recompute.RecomputeTracker`)
+    marks re-executed iterations after a shrink so profilers charge the
+    survivors' replay to ``recompute``; keyed by *world* rank, since the
+    shrink renumbers communicator slots but the physical process doing
+    the replay stays the same."""
     # at the initial decomposition each rank charges cfg.iteration_work()
     per_row_work = cfg.iteration_work() * initial_ranks / total_rows
 
@@ -223,9 +230,7 @@ def make_elastic_heatdis_main(
         else:
             start = 0
 
-        for i in range(start, cfg.n_iters):
-            if failure_plan is not None:
-                failure_plan.check(ctx.rank, i)
+        def iteration(i):
             yield from _halo(h, state, cfg)
             stencil_sweep(state.current.data, state.next.data)
             yield from ctx.compute(
@@ -237,6 +242,17 @@ def make_elastic_heatdis_main(
             )
             if i > 0 and i % ckpt_interval == 0:
                 yield from _checkpoint(h, state, i, cluster)
+
+        for i in range(start, cfg.n_iters):
+            if failure_plan is not None:
+                failure_plan.check(ctx.rank, i)
+            if tracker is not None and tracker.is_recompute(ctx.rank, i):
+                with ctx.recompute(i):
+                    yield from iteration(i)
+            else:
+                yield from iteration(i)
+                if tracker is not None:
+                    tracker.advance(ctx.rank, i)
         outcome = {
             "rank": h.rank,
             "size": h.size,

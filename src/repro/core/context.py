@@ -103,8 +103,11 @@ class Context:
         """
         if self._latest_cache is None:
             label = DATA_RECOVERY if self._post_failure else RESILIENCE_INIT
-            with self.ctx.account.label(label):
-                version = yield from self.backend.latest_version()
+            tel = self.ctx.engine.telemetry
+            with tel.span(f"rank{self.ctx.rank}", "kr.latest",
+                          post_failure=self._post_failure):
+                with self.ctx.account.label(label):
+                    version = yield from self.backend.latest_version()
             self._latest_cache = version
         self._recovery_version = self._latest_cache
         self._recovery_pending = self._latest_cache >= 0

@@ -27,6 +27,10 @@ from repro.experiments.fig5_heatdis import (
     run_fig5_weak_scaling,
 )
 from repro.experiments.fig6_minimd import format_fig6, run_fig6_weak_scaling
+from repro.experiments.overhead import (
+    format_overhead_table,
+    run_overhead_attribution,
+)
 from repro.experiments.fig7_views import format_fig7, run_fig7_census
 from repro.experiments.partial_rollback import run_partial_rollback_comparison
 from repro.parallel import DEFAULT_TRACE_MAX_RECORDS, RunCache
@@ -76,6 +80,11 @@ def _complexity(_args) -> None:
     print(format_complexity(analyze_complexity()))
 
 
+def _overhead(args) -> None:
+    rows = run_overhead_attribution(n_ranks=args.ranks or 4)
+    print(format_overhead_table(rows))
+
+
 def _campaign(args) -> None:
     study = run_campaign(
         n_ranks=args.ranks or 8,
@@ -92,6 +101,7 @@ COMMANDS = {
     "fig7": _fig7,
     "partial": _partial,
     "complexity": _complexity,
+    "overhead": _overhead,
     "campaign": _campaign,
 }
 

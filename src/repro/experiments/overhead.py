@@ -1,0 +1,115 @@
+"""Per-layer overhead attribution across the Figure-5 strategies.
+
+Runs one small seeded failure scenario under every strategy with the
+profiler on and tabulates the mean per-rank ledger -- the "where do the
+resilience seconds go" companion to Figure 5's wall-clock bars.  Unlike
+the TimeAccount buckets the figures use, these columns come from the
+exact span-stream attribution (:mod:`repro.profile.ledger`), so the
+conservation invariant (columns sum to the mean makespan) holds for
+every row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.heatdis import HeatdisConfig
+from repro.experiments.common import paper_env
+from repro.harness.runner import run_heatdis_job
+from repro.harness.strategies import STRATEGIES
+from repro.profile.categories import CATEGORIES
+from repro.sim.failures import IterationFailure, NoFailures
+from repro.telemetry import Telemetry
+
+#: strategies rows appear in (the Figure-5 order)
+DEFAULT_STRATEGIES = (
+    "none",
+    "veloc",
+    "kr_veloc",
+    "fenix_veloc",
+    "fenix_kr_veloc",
+    "fenix_kr_imr",
+)
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """One strategy's mean per-rank ledger."""
+
+    strategy: str
+    wall_time: float
+    mean_makespan: float
+    mean: Dict[str, float]
+    dropped: int
+
+
+def run_overhead_attribution(
+    n_ranks: int = 4,
+    n_iters: int = 30,
+    ckpt_interval: int = 10,
+    modeled_bytes: float = 16e6,
+    kill_rank: Optional[int] = 2,
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    seed: int = 20220906,
+) -> List[OverheadRow]:
+    """Profile each strategy on the same seeded single-failure scenario.
+
+    The failure-free ``none`` strategy keeps its NoFailures plan (there
+    is no recovery path to attribute), every other strategy gets one
+    kill between checkpoints -- the paper's injection protocol.
+    """
+    rows: List[OverheadRow] = []
+    for name in strategies:
+        spec = STRATEGIES[name]
+        n_spares = 1 if spec.fenix else 0
+        env = paper_env(n_ranks + max(n_spares, 1), n_spares=n_spares,
+                        seed=seed, pfs_servers=2)
+        if kill_rank is not None and spec.checkpointing:
+            plan = IterationFailure.between_checkpoints(
+                kill_rank, ckpt_interval, 1
+            )
+        else:
+            plan = NoFailures()
+        tel = Telemetry(enabled=True)
+        report = run_heatdis_job(
+            env, name, n_ranks,
+            HeatdisConfig(n_iters=n_iters,
+                          modeled_bytes_per_rank=modeled_bytes),
+            ckpt_interval, plan=plan, telemetry=tel, profile=True,
+        )
+        prof = report.profile
+        rows.append(OverheadRow(
+            strategy=name,
+            wall_time=report.wall_time,
+            mean_makespan=prof["mean_makespan"],
+            mean=dict(prof["mean"]),
+            dropped=int(prof["dropped"]),
+        ))
+    return rows
+
+
+def format_overhead_table(rows: Sequence[OverheadRow],
+                          title: str = "Per-layer cost attribution "
+                                       "(mean seconds per rank)") -> str:
+    """Aligned text table; only categories some row actually spent."""
+    cats = [c for c in CATEGORIES
+            if any(r.mean.get(c, 0.0) > 1e-12 for r in rows)]
+    header = ["strategy"] + cats + ["makespan", "wall"]
+    table: List[List[str]] = []
+    for r in rows:
+        table.append([r.strategy]
+                     + [f"{r.mean.get(c, 0.0):.4f}" for c in cats]
+                     + [f"{r.mean_makespan:.4f}", f"{r.wall_time:.4f}"])
+    widths = [max(len(header[i]), *(len(row[i]) for row in table))
+              for i in range(len(header))]
+    lines = [title,
+             "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+             "  ".join("-" * w for w in widths)]
+    lines += ["  ".join(c.ljust(w) for c, w in zip(row, widths))
+              for row in table]
+    dropped = sum(r.dropped for r in rows)
+    if dropped:
+        lines.append(f"WARNING: {dropped} trace records dropped across "
+                     "rows -- attribution may be incomplete")
+    return "\n".join(lines)

@@ -86,7 +86,8 @@ class IMRStore:
         nbytes = view.modeled_nbytes
         key = (member_id, int(version), comm.rank)
         with tel.span(f"imr.rank{comm.rank}", "imr.store",
-                      member=member_id, version=int(version), nbytes=nbytes):
+                      member=member_id, version=int(version), nbytes=nbytes,
+                      wrank=ctx.rank):
             # local copy (memory-copy cost)
             yield engine.timeout(ctx.node.memcpy_time(nbytes))
             self._slot(ctx.rank)[key] = (data, nbytes)
@@ -188,7 +189,7 @@ class IMRStore:
         t0 = engine.now
         key = (member_id, int(version), comm.rank)
         with tel.span(f"imr.rank{comm.rank}", "imr.restore",
-                      member=member_id, version=int(version)):
+                      member=member_id, version=int(version), wrank=ctx.rank):
             own = self._memory.get(ctx.rank, {})
             if key in own:
                 data, nbytes = own[key]

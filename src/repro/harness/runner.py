@@ -99,6 +99,8 @@ class RunReport:
     #: protocol invariant violations found by the monitor suite (empty
     #: when the run was not monitored or came back clean)
     violations: List[Any] = field(default_factory=list)
+    #: exact per-rank time ledger (repro.profile) when profiling was on
+    profile: Optional[Dict] = None
 
     @property
     def accounted(self) -> float:
@@ -154,6 +156,7 @@ class JobRunner:
         trace_max_records: Optional[int] = None,
         strict_monitor: Optional[bool] = None,
         monitor: Optional[MonitorSuite] = None,
+        profile: bool = False,
     ) -> None:
         self.env = env
         self.strategy = strategy
@@ -171,6 +174,9 @@ class JobRunner:
             )
         self.n_total = n_total
         self.telemetry = telemetry
+        if profile and (telemetry is None or not telemetry.enabled):
+            raise ConfigError("profile=True requires enabled telemetry")
+        self.profile = profile
         # a telemetered run also records the legacy event trace so the
         # exporters can interleave both record kinds on one timeline;
         # ``trace_max_records`` switches it to ring-buffer mode so long
@@ -219,6 +225,15 @@ class JobRunner:
             violations = self.monitor.violations
             if self.strict_monitor and violations:
                 raise InvariantViolationError(violations)
+        profile_dict = None
+        if self.profile:
+            # local import: repro.profile consumes telemetry, the runner
+            # merely hands the stream over, so no import cycle
+            from repro.profile.ledger import build_ledger
+
+            profile_dict = build_ledger(
+                tel, trace=self.trace, wall_time=wall
+            ).to_dict()
         return RunReport(
             strategy=self.strategy.name,
             app=self.app_name,
@@ -234,6 +249,7 @@ class JobRunner:
                 else None
             ),
             violations=violations,
+            profile=profile_dict,
         )
 
     def _platform_counters(self) -> Dict[str, float]:
@@ -407,6 +423,7 @@ def run_heatdis_job(
     trace_max_records: Optional[int] = None,
     strict_monitor: Optional[bool] = None,
     monitor: Optional[MonitorSuite] = None,
+    profile: bool = False,
 ) -> RunReport:
     """Run one Heatdis job under a strategy; returns the report."""
     strategy = STRATEGIES[strategy_name]
@@ -440,7 +457,8 @@ def run_heatdis_job(
     runner = JobRunner(env, strategy, n_ranks, plan, build_main, "heatdis",
                        telemetry=telemetry,
                        trace_max_records=trace_max_records,
-                       strict_monitor=strict_monitor, monitor=monitor)
+                       strict_monitor=strict_monitor, monitor=monitor,
+                       profile=profile)
     return runner.run()
 
 
@@ -455,6 +473,7 @@ def run_heatdis2d_job(
     trace_max_records: Optional[int] = None,
     strict_monitor: Optional[bool] = None,
     monitor: Optional[MonitorSuite] = None,
+    profile: bool = False,
 ) -> RunReport:
     """Run one 2-D-decomposed Heatdis job under a strategy."""
     strategy = STRATEGIES[strategy_name]
@@ -475,7 +494,8 @@ def run_heatdis2d_job(
     runner = JobRunner(env, strategy, n_ranks, plan, build_main, "heatdis2d",
                        telemetry=telemetry,
                        trace_max_records=trace_max_records,
-                       strict_monitor=strict_monitor, monitor=monitor)
+                       strict_monitor=strict_monitor, monitor=monitor,
+                       profile=profile)
     return runner.run()
 
 
@@ -490,6 +510,7 @@ def run_minimd_job(
     trace_max_records: Optional[int] = None,
     strict_monitor: Optional[bool] = None,
     monitor: Optional[MonitorSuite] = None,
+    profile: bool = False,
 ) -> RunReport:
     """Run one MiniMD job under a strategy; returns the report."""
     strategy = STRATEGIES[strategy_name]
@@ -508,5 +529,6 @@ def run_minimd_job(
     runner = JobRunner(env, strategy, n_ranks, plan, build_main, "minimd",
                        telemetry=telemetry,
                        trace_max_records=trace_max_records,
-                       strict_monitor=strict_monitor, monitor=monitor)
+                       strict_monitor=strict_monitor, monitor=monitor,
+                       profile=profile)
     return runner.run()

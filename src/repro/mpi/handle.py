@@ -82,14 +82,29 @@ class CommHandle:
     def _timed(self, gen: Generator) -> Generator[Event, Any, Any]:
         engine = self.engine
         t0 = engine.now
-        try:
-            result = yield from gen
-            return result
-        except MPIError as exc:
-            self._on_mpi_error(exc)
-            raise
-        finally:
-            self.ctx.account.charge("mpi", engine.now - t0)
+        tel = engine.telemetry
+        if tel.enabled:
+            # span name mirrors the public op ("mpi.send", "mpi.agree", ...)
+            # so the profiler can tell App-MPI waits from ULFM agreement
+            op = getattr(gen, "__name__", "op").lstrip("_")
+            with tel.span(f"rank{self.ctx.rank}", f"mpi.{op}"):
+                try:
+                    result = yield from gen
+                    return result
+                except MPIError as exc:
+                    self._on_mpi_error(exc)
+                    raise
+                finally:
+                    self.ctx.account.charge("mpi", engine.now - t0)
+        else:
+            try:
+                result = yield from gen
+                return result
+            except MPIError as exc:
+                self._on_mpi_error(exc)
+                raise
+            finally:
+                self.ctx.account.charge("mpi", engine.now - t0)
 
     # -- point-to-point ---------------------------------------------------------
 

@@ -65,16 +65,29 @@ class RankContext:
         if jitter > 0.0:
             # lognormal with E[factor]=1: exp(N(-s^2/2, s^2))
             dt *= float(np.exp(self.rng.normal(-0.5 * jitter**2, jitter)))
+        congested = 0.0
         if self.node.active_flushes > 0:
             # the co-located checkpoint server steals memory bandwidth
-            dt *= 1.0 + self.node.spec.flush_compute_steal
-        yield self.engine.timeout(dt)
+            congested = dt * self.node.spec.flush_compute_steal
+            dt += congested
+        tel = self.engine.telemetry
+        if tel.enabled:
+            with tel.span(f"rank{self.rank}", "compute",
+                          kind=kind, congestion=congested):
+                yield self.engine.timeout(dt)
+        else:
+            yield self.engine.timeout(dt)
         self.account.charge(kind, dt)
         return dt
 
     def sleep(self, seconds: float, kind: Optional[str] = None):
         """Idle for ``seconds``; optionally charge it to a bucket."""
-        yield self.engine.timeout(seconds)
+        tel = self.engine.telemetry
+        if tel.enabled:
+            with tel.span(f"rank{self.rank}", "sleep", kind=kind):
+                yield self.engine.timeout(seconds)
+        else:
+            yield self.engine.timeout(seconds)
         if kind is not None:
             self.account.charge(kind, seconds)
 

@@ -1,0 +1,281 @@
+"""Profiler CLI: cost attribution, critical path, flame graphs, budgets.
+
+Usage (repository root, ``PYTHONPATH=src``)::
+
+    python -m repro.profile report --strategy fenix_kr_veloc \
+        --ranks 4 --kill-rank 2 --json ledger.json
+    python -m repro.profile critical-path --strategy fenix_kr_veloc \
+        --ranks 4 --kill-rank 2
+    python -m repro.profile flamegraph --strategy fenix_kr_veloc \
+        --ranks 4 --kill-rank 2 --out profile.folded
+    python -m repro.profile diff baseline.json current.json --budget 0.05
+
+``report`` runs one instrumented experiment and prints the exact
+per-rank time ledger (categories sum to makespan -- enforced, not
+claimed).  It exits non-zero when the trace ring buffer dropped records
+(the attribution would silently miss work) unless ``--allow-drops`` is
+given.  ``diff`` compares two ledger JSON files against a relative
+per-category budget -- the CI overhead-regression mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Optional
+
+from repro.profile.categories import CATEGORIES
+from repro.profile.critical_path import (
+    extract_critical_path,
+    format_critical_path,
+)
+from repro.profile.flamegraph import write_folded
+from repro.profile.ledger import ConservationError, build_ledger, format_ledger
+
+APPS = ("heatdis", "heatdis2d", "minimd")
+
+
+def _add_run_args(parser: argparse.ArgumentParser) -> None:
+    """Run-construction flags shared by report/critical-path/flamegraph
+    (mirrors ``python -m repro.telemetry run``)."""
+    parser.add_argument("--app", choices=APPS, default="heatdis")
+    parser.add_argument("--strategy", default="fenix_kr_veloc",
+                        help="a strategy name from repro.harness.strategies")
+    parser.add_argument("--ranks", type=int, default=4)
+    parser.add_argument("--iters", type=int, default=30,
+                        help="iterations / MD steps")
+    parser.add_argument("--interval", type=int, default=10,
+                        help="checkpoint interval (iterations)")
+    parser.add_argument("--bytes", type=float, default=16e6,
+                        help="modelled checkpoint bytes per rank")
+    parser.add_argument("--spares", type=int, default=1)
+    parser.add_argument("--kill-rank", type=int, default=None,
+                        help="inject one failure on this rank")
+    parser.add_argument("--kill-after-checkpoint", type=int, default=1,
+                        help="die ~95%% of the way past this checkpoint")
+    parser.add_argument("--seed", type=int, default=20220906)
+    parser.add_argument("--max-records", type=int, default=None,
+                        help="legacy-trace ring-buffer size (drops are "
+                             "surfaced in the report)")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.profile",
+        description="Per-layer cost attribution over the telemetry stream.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rep = sub.add_parser("report", help="per-rank time ledger of one run")
+    _add_run_args(rep)
+    rep.add_argument("--json", default=None,
+                     help="also write the ledger as JSON to this path")
+    rep.add_argument("--no-per-rank", action="store_true",
+                     help="print only the mean row")
+    rep.add_argument("--allow-drops", action="store_true",
+                     help="exit 0 even when trace records were dropped")
+
+    cp = sub.add_parser("critical-path",
+                        help="kill -> re-entry chain of one failure")
+    _add_run_args(cp)
+    cp.add_argument("--path-rank", type=int, default=None,
+                    help="analyze this rank's death (default: first kill)")
+    cp.add_argument("--occurrence", type=int, default=0,
+                    help="which kill of that rank (0 = first)")
+    cp.add_argument("--json", default=None,
+                    help="also write the chain as JSON to this path")
+
+    fg = sub.add_parser("flamegraph",
+                        help="folded-stack export (speedscope/flamegraph.pl)")
+    _add_run_args(fg)
+    fg.add_argument("--out", default="profile.folded",
+                    help="output path for the folded stacks")
+
+    diff = sub.add_parser("diff",
+                          help="compare two ledger JSON files per category")
+    diff.add_argument("baseline")
+    diff.add_argument("current")
+    diff.add_argument("--budget", type=float, default=0.05,
+                      help="max relative growth per category before "
+                           "failing (default 0.05 = 5%%)")
+    diff.add_argument("--abs-floor", type=float, default=1e-3,
+                      help="ignore categories smaller than this many "
+                           "seconds in both ledgers")
+    return parser
+
+
+def _execute_run(args: argparse.Namespace):
+    """Run one instrumented experiment; returns (telemetry, report) or an
+    exit code on bad arguments."""
+    from repro.experiments.common import paper_env
+    from repro.harness.runner import (
+        run_heatdis2d_job,
+        run_heatdis_job,
+        run_minimd_job,
+    )
+    from repro.harness.strategies import STRATEGIES
+    from repro.sim.failures import IterationFailure, NoFailures
+    from repro.telemetry.collector import Telemetry
+
+    if args.strategy not in STRATEGIES:
+        print(f"unknown strategy {args.strategy!r}; choose from: "
+              + ", ".join(sorted(STRATEGIES)), file=sys.stderr)
+        return 2
+    strategy = STRATEGIES[args.strategy]
+    n_spares = args.spares if strategy.fenix else 0
+    env = paper_env(args.ranks + max(n_spares, 1), n_spares=n_spares,
+                    seed=args.seed, pfs_servers=2)
+
+    plan = NoFailures()
+    if args.kill_rank is not None:
+        if not 0 <= args.kill_rank < args.ranks:
+            print(f"--kill-rank {args.kill_rank} out of range for "
+                  f"{args.ranks} ranks", file=sys.stderr)
+            return 2
+        plan = IterationFailure.between_checkpoints(
+            args.kill_rank, args.interval, args.kill_after_checkpoint
+        )
+
+    tel = Telemetry(enabled=True)
+    common = dict(plan=plan, telemetry=tel, profile=True,
+                  trace_max_records=args.max_records)
+    if args.app == "heatdis":
+        from repro.apps.heatdis import HeatdisConfig
+        cfg = HeatdisConfig(n_iters=args.iters,
+                            modeled_bytes_per_rank=args.bytes)
+        report = run_heatdis_job(env, args.strategy, args.ranks, cfg,
+                                 args.interval, **common)
+    elif args.app == "heatdis2d":
+        from repro.apps.heatdis2d import Heatdis2DConfig
+        cfg = Heatdis2DConfig(n_iters=args.iters,
+                              modeled_bytes_per_rank=args.bytes)
+        report = run_heatdis2d_job(env, args.strategy, args.ranks, cfg,
+                                   args.interval, **common)
+    else:
+        from repro.apps.minimd import MiniMDConfig
+        cfg = MiniMDConfig(n_steps=args.iters)
+        report = run_minimd_job(env, args.strategy, args.ranks, cfg,
+                                args.interval, **common)
+    return tel, report
+
+
+def _report(args: argparse.Namespace) -> int:
+    run = _execute_run(args)
+    if isinstance(run, int):
+        return run
+    tel, report = run
+    try:
+        ledger = build_ledger(tel, wall_time=report.wall_time)
+    except ConservationError as exc:
+        print(f"CONSERVATION VIOLATED: {exc}", file=sys.stderr)
+        return 1
+    print(f"{report.app} / {report.strategy}: "
+          f"wall={report.wall_time:.3f}s attempts={report.attempts} "
+          f"failures={report.failures}")
+    print(format_ledger(ledger, per_rank=not args.no_per_rank))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(ledger.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    if ledger.dropped and not args.allow_drops:
+        print(f"ERROR: {ledger.dropped} trace records dropped -- the "
+              "attribution above may be missing work (re-run with a "
+              "larger --max-records, or pass --allow-drops to accept)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _critical_path(args: argparse.Namespace) -> int:
+    run = _execute_run(args)
+    if isinstance(run, int):
+        return run
+    tel, _report_obj = run
+    try:
+        cp = extract_critical_path(tel, rank=args.path_rank,
+                                   occurrence=args.occurrence)
+    except ValueError as exc:
+        print(f"no critical path: {exc} (did you pass --kill-rank?)",
+              file=sys.stderr)
+        return 1
+    print(format_critical_path(cp))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(cp.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _flamegraph(args: argparse.Namespace) -> int:
+    run = _execute_run(args)
+    if isinstance(run, int):
+        return run
+    tel, report = run
+    n = write_folded(args.out, tel)
+    print(f"wrote {args.out}: {n} stacks over {report.wall_time:.3f}s "
+          f"simulated ({report.app}/{report.strategy}) -- load it at "
+          "https://www.speedscope.app or feed it to flamegraph.pl")
+    return 0
+
+
+def _load_mean(path: str) -> Optional[dict]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot load {path}: {exc}", file=sys.stderr)
+        return None
+    mean = doc.get("mean")
+    if not isinstance(mean, dict):
+        print(f"{path}: not a ledger JSON (missing 'mean')", file=sys.stderr)
+        return None
+    return mean
+
+
+def _diff(args: argparse.Namespace) -> int:
+    base = _load_mean(args.baseline)
+    cur = _load_mean(args.current)
+    if base is None or cur is None:
+        return 2
+    failing = []
+    width = max(len(c) for c in CATEGORIES)
+    for cat in CATEGORIES:
+        b = float(base.get(cat, 0.0))
+        c = float(cur.get(cat, 0.0))
+        if b < args.abs_floor and c < args.abs_floor:
+            continue
+        growth = (c - b) / b if b > 0 else float("inf")
+        over = growth > args.budget
+        if over:
+            failing.append(cat)
+        marker = "  OVER-BUDGET" if over else ""
+        print(f"{cat:<{width}}  {b:.6f} -> {c:.6f}  "
+              f"({growth:+.1%}){marker}")
+    if failing:
+        print(f"{len(failing)} categor{'y' if len(failing) == 1 else 'ies'} "
+              f"grew beyond the {args.budget:.0%} budget: "
+              + ", ".join(failing), file=sys.stderr)
+        return 1
+    print(f"all categories within the {args.budget:.0%} budget")
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "report":
+        return _report(args)
+    if args.command == "critical-path":
+        return _critical_path(args)
+    if args.command == "flamegraph":
+        return _flamegraph(args)
+    return _diff(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

@@ -111,7 +111,8 @@ class VeloCClient:
         t0 = engine.now
         total = self.protected_nbytes()
         with tel.span(f"veloc.rank{self.veloc_rank}", "veloc.checkpoint",
-                      version=int(version), nbytes=total):
+                      version=int(version), nbytes=total,
+                      wrank=self.ctx.rank):
             snapshot = {
                 rid: view.copy_data() for rid, view in self._protected.items()
             }
@@ -164,7 +165,10 @@ class VeloCClient:
         """Block until every queued flush has persisted."""
         pending = [ev for ev in self._flushes.values() if not ev.processed]
         if pending:
-            yield self.ctx.engine.all_of(pending)
+            tel = self.ctx.engine.telemetry
+            with tel.span(f"veloc.rank{self.veloc_rank}", "veloc.flush_wait",
+                          pending=len(pending), wrank=self.ctx.rank):
+                yield self.ctx.engine.all_of(pending)
 
     # -- version queries --------------------------------------------------------------
 
@@ -225,7 +229,7 @@ class VeloCClient:
         key = self._key(version)
         bb = self.cluster.burst_buffer
         with tel.span(f"veloc.rank{self.veloc_rank}", "veloc.recover",
-                      version=int(version)) as sp:
+                      version=int(version), wrank=self.ctx.rank) as sp:
             if key in self.ctx.node.scratch:
                 snapshot, total = self.ctx.node.scratch[key]
                 yield engine.timeout(self.ctx.node.memcpy_time(total))

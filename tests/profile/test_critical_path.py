@@ -1,0 +1,106 @@
+"""Recovery critical path: kill -> re-entry chain with layer attribution."""
+
+import pytest
+
+from repro.profile import extract_critical_path, format_critical_path
+
+from tests.profile.conftest import KILL_RANK, RANKS
+
+
+class TestFig5CriticalPath:
+    def test_chain_shape(self, fig5_run):
+        tel, _ = fig5_run
+        cp = extract_critical_path(tel)
+        assert cp.kill_rank == KILL_RANK
+        assert cp.reentry_time > cp.kill_time
+        assert cp.total > 0.0
+        # edges tile [kill, re-entry] with no gaps or overlaps
+        assert cp.edges[0].start == pytest.approx(cp.kill_time)
+        assert cp.edges[-1].end == pytest.approx(cp.reentry_time)
+        for prev, nxt in zip(cp.edges, cp.edges[1:]):
+            assert nxt.start == pytest.approx(prev.end)
+        assert sum(e.duration for e in cp.edges) == pytest.approx(cp.total)
+
+    def test_per_layer_attribution(self, fig5_run):
+        tel, _ = fig5_run
+        cp = extract_critical_path(tel)
+        layers = cp.by_layer()
+        assert set(layers) <= {"ulfm", "fenix", "kr", "veloc",
+                               "recompute", "app", "process"}
+        assert sum(layers.values()) == pytest.approx(cp.total)
+        # the Fenix path: no process teardown/relaunch edges
+        assert "process" not in layers
+        stage_names = [e.name for e in cp.edges]
+        assert stage_names.index("repair") < stage_names.index(
+            "kr reset/restore"
+        ) < stage_names.index("recompute")
+
+    def test_critical_rank_has_latest_reentry(self, fig5_run):
+        tel, _ = fig5_run
+        cp = extract_critical_path(tel)
+        assert cp.critical_rank in cp.chains
+        assert cp.chains[cp.critical_rank] == max(cp.chains.values())
+        assert cp.reentry_time == pytest.approx(
+            cp.chains[cp.critical_rank]
+        )
+        # the dead process itself never re-enters
+        assert cp.kill_rank not in cp.chains
+
+    def test_explicit_rank_selection(self, fig5_run):
+        tel, _ = fig5_run
+        cp = extract_critical_path(tel, rank=KILL_RANK, occurrence=0)
+        assert cp.kill_rank == KILL_RANK
+        with pytest.raises(ValueError):
+            extract_critical_path(tel, rank=KILL_RANK, occurrence=5)
+        with pytest.raises(ValueError):
+            extract_critical_path(tel, rank=0)  # rank 0 never died
+
+    def test_format_renders(self, fig5_run):
+        tel, _ = fig5_run
+        text = format_critical_path(extract_critical_path(tel))
+        assert "critical path" in text
+        assert "per-layer totals" in text
+        assert "<- critical" in text
+
+    def test_to_dict_roundtrip(self, fig5_run):
+        tel, _ = fig5_run
+        doc = extract_critical_path(tel).to_dict()
+        assert doc["kill_rank"] == KILL_RANK
+        assert doc["total"] == pytest.approx(
+            sum(e["duration"] for e in doc["edges"])
+        )
+        assert set(doc["chains"])  # non-empty
+
+
+class TestCleanRunCriticalPath:
+    def test_no_failure_no_path(self, clean_run):
+        tel, _ = clean_run
+        with pytest.raises(ValueError):
+            extract_critical_path(tel)
+
+
+class TestShrinkCriticalPath:
+    """PROTOCOLS.md section-4: spare exhaustion resolved by shrinking."""
+
+    def test_shrink_recovery_chain(self, shrink_run):
+        tel, system, results = shrink_run
+        assert results, "shrunk job did not finish"
+        cp = extract_critical_path(tel)
+        assert cp.kill_rank == 1
+        # no spare: the survivors (world ranks 0, 2) carry the chain
+        assert set(cp.chains) <= {0, 2}
+        assert cp.critical_rank in (0, 2)
+        assert cp.reentry_time > cp.kill_time
+        layers = cp.by_layer()
+        assert sum(layers.values()) == pytest.approx(cp.total)
+        # the repair happened via shrink, not relaunch
+        assert "process" not in layers
+        shrinks = tel.tracer.find(name="fenix.shrink")
+        assert shrinks, "shrink instant missing from the span stream"
+
+    def test_survivors_recompute_on_chain(self, shrink_run):
+        tel, _, _ = shrink_run
+        cp = extract_critical_path(tel)
+        recompute_edges = [e for e in cp.edges if e.layer == "recompute"]
+        assert len(recompute_edges) == 1
+        assert recompute_edges[0].duration > 0.0

@@ -1,0 +1,65 @@
+"""Folded-stack export: format, self-time, and identity folding."""
+
+import re
+
+from repro.profile import folded_stacks, write_folded
+from repro.profile.flamegraph import format_folded
+from repro.telemetry import Telemetry
+
+from tests.profile.conftest import RANKS
+
+FOLDED_LINE = re.compile(r"^(\S.*) (\d+)$")
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+
+def test_folded_format(fig5_run):
+    tel, _ = fig5_run
+    stacks = folded_stacks(tel)
+    assert stacks
+    body = format_folded(stacks)
+    lines = body.splitlines()
+    assert lines == sorted(lines)  # stable ordering for diffs
+    for line in lines:
+        m = FOLDED_LINE.match(line)
+        assert m, f"bad folded line: {line!r}"
+        assert int(m.group(2)) > 0
+    # multi-frame stacks exist (spans nest under their parents)
+    assert any(";" in s and s.count(";") >= 2 for s in stacks)
+
+
+def test_rank_root_frames(fig5_run):
+    tel, _ = fig5_run
+    stacks = folded_stacks(tel)
+    roots = {s.split(";", 1)[0] for s in stacks}
+    for r in range(RANKS):
+        assert f"rank{r}" in roots
+    # the replacement's recovery (recorded on veloc.rank2 with
+    # wrank=RANKS) folds under its own physical rank
+    assert any(s.startswith(f"rank{RANKS};") and "veloc.recover" in s
+               for s in stacks)
+
+
+def test_self_time_excludes_children():
+    tel = Telemetry(enabled=True)
+    clock = _Clock()
+    tel.tracer.bind(clock)
+    with tel.span("rank0", "outer"):
+        clock.now = 2.0
+        with tel.span("rank0", "inner"):
+            clock.now = 8.0
+        clock.now = 10.0
+    stacks = folded_stacks(tel)
+    assert stacks["rank0;outer"] == 4_000_000  # 10 - (8 - 2) seconds
+    assert stacks["rank0;outer;inner"] == 6_000_000
+
+
+def test_write_folded(tmp_path, fig5_run):
+    tel, _ = fig5_run
+    out = tmp_path / "profile.folded"
+    n = write_folded(str(out), tel)
+    text = out.read_text()
+    assert n == len(text.splitlines()) > 0
