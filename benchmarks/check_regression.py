@@ -48,16 +48,19 @@ def main(argv=None) -> int:
         status = "ok"
         if ratio > 1.0 + args.max_regression:
             status = "REGRESSED"
-            failures.append(name)
+            failures.append((name, ratio - 1.0))
         print(
             f"  {status:<9}{name}: {base[name] * 1e3:.2f} ms -> "
             f"{new[name] * 1e3:.2f} ms ({ratio:.1%} of baseline)"
         )
     if failures:
         print(
-            f"\n{len(failures)} benchmark(s) regressed more than "
-            f"{args.max_regression:.0%}: {', '.join(failures)}"
+            f"\nFAIL: {len(failures)} benchmark(s) regressed beyond the "
+            f"{args.max_regression:+.0%} budget:"
         )
+        for name, delta in sorted(failures, key=lambda f: -f[1]):
+            print(f"  {name}: {delta:+.1%} mean time "
+                  f"(budget {args.max_regression:+.0%})")
         return 1
     print("\nno benchmark regressed beyond the threshold")
     return 0

@@ -6,12 +6,16 @@ Usage::
         [fig5|fig6|fig7|partial|complexity|campaign|all]
         [--ranks N] [--full-scale]
         [--jobs N] [--no-cache] [--cache-dir DIR] [--max-records N]
+        [--progress-jsonl PATH]
 
 Prints each figure's table (the same rows the benchmark suite writes to
 ``results/``).  Sweeps fan out over ``--jobs`` worker processes and are
 served from the content-addressed run cache under ``results/cache/``
 unless ``--no-cache`` is given; cached and parallel results are
-bit-identical to a fresh sequential run.
+bit-identical to a fresh sequential run.  Every invocation ends with the
+run-cache hit/miss/skip tally, and ``--progress-jsonl`` streams per-cell
+progress events (state, ETA, cache hits, worker utilization) for
+dashboards to tail.
 """
 
 from __future__ import annotations
@@ -33,39 +37,40 @@ from repro.experiments.overhead import (
 )
 from repro.experiments.fig7_views import format_fig7, run_fig7_census
 from repro.experiments.partial_rollback import run_partial_rollback_comparison
-from repro.parallel import DEFAULT_TRACE_MAX_RECORDS, RunCache
-
-
-def _cache(args) -> "RunCache | None":
-    if args.no_cache:
-        return None
-    return RunCache(args.cache_dir)
+from repro.parallel import (
+    DEFAULT_TRACE_MAX_RECORDS,
+    RunCache,
+    default_progress,
+    resolve_jobs,
+)
 
 
 def _fig5(args) -> None:
     ranks = args.ranks or (64 if args.full_scale else 8)
     print(format_fig5(
         run_fig5_data_scaling(n_ranks=ranks, jobs=args.jobs,
-                              cache=_cache(args)),
+                              cache=args.cache, progress=args.progress),
         title=f"Figure 5 (left): data scaling at {ranks} ranks",
     ))
     nodes = [4, 16, 64] if args.full_scale else [2, 4, 8]
     print()
     print(format_fig5(
         run_fig5_weak_scaling(nodes=nodes, jobs=args.jobs,
-                              cache=_cache(args)),
+                              cache=args.cache, progress=args.progress),
         title="Figure 5 (right): weak scaling at 1GB/node",
     ))
 
 
 def _fig6(args) -> None:
-    ranks = [8, 27, 64] if args.full_scale else [4, 8]
-    print(format_fig6(run_fig6_weak_scaling(ranks=ranks, jobs=args.jobs,
-                                            cache=_cache(args))))
+    print(format_fig6(run_fig6_weak_scaling(
+        ranks=[8, 27, 64] if args.full_scale else [4, 8],
+        jobs=args.jobs, cache=args.cache, progress=args.progress,
+    )))
 
 
 def _fig7(args) -> None:
-    print(format_fig7(run_fig7_census(jobs=args.jobs)))
+    print(format_fig7(run_fig7_census(jobs=args.jobs,
+                                      progress=args.progress)))
 
 
 def _partial(args) -> None:
@@ -89,8 +94,9 @@ def _campaign(args) -> None:
     study = run_campaign(
         n_ranks=args.ranks or 8,
         jobs=args.jobs,
-        cache=_cache(args),
+        cache=args.cache,
         trace_max_records=args.max_records,
+        progress=args.progress,
     )
     print(format_campaign(study))
 
@@ -129,12 +135,26 @@ def main(argv=None) -> int:
                         help="Trace ring-buffer size for telemetered sweep "
                              "runs (default %(default)s; keeps multi-hour "
                              "campaigns at bounded memory)")
+    parser.add_argument("--progress-jsonl", default=None, metavar="PATH",
+                        help="stream per-cell progress events (JSON lines) "
+                             "to PATH; a TTY status line is shown on "
+                             "stderr automatically when it is a terminal")
     args = parser.parse_args(argv)
+    # one cache and one progress stream for the whole invocation, so the
+    # final tally covers every figure that ran
+    args.cache = None if args.no_cache else RunCache(args.cache_dir)
+    args.progress = default_progress(resolve_jobs(args.jobs),
+                                     jsonl_path=args.progress_jsonl)
     targets = list(COMMANDS) if args.what == "all" else [args.what]
     for i, name in enumerate(targets):
         if i:
             print("\n" + "=" * 72 + "\n")
         COMMANDS[name](args)
+    if args.progress is not None:
+        args.progress.finish()
+    if args.cache is not None:
+        print()
+        print(args.cache.summary())
     return 0
 
 

@@ -19,13 +19,14 @@ bit-identical to a sequential in-process run.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.apps import HeatdisConfig
 from repro.experiments.common import paper_env
 from repro.harness import RunReport
 from repro.parallel import (
     DEFAULT_TRACE_MAX_RECORDS,
+    CampaignProgress,
     CellSpec,
     PlanSpec,
     RunCache,
@@ -35,6 +36,10 @@ from repro.parallel import (
 CKPT_INTERVAL = 9
 
 DEFAULT_STRATEGIES = ["kr_veloc", "fenix_kr_veloc"]
+
+#: default seed set for cross-run campaigns (repro.report); enough for a
+#: meaningful bootstrap without making the smoke campaign slow
+DEFAULT_SEEDS = (7, 11, 13)
 
 
 @dataclass
@@ -81,6 +86,7 @@ def run_campaign(
     cache: Optional[RunCache] = None,
     telemetry: bool = False,
     trace_max_records: Optional[int] = DEFAULT_TRACE_MAX_RECORDS,
+    progress: Optional[CampaignProgress] = None,
 ) -> CampaignStudy:
     """Run the campaign; by default the MTBF is chosen so a handful of
     failures strike during the job.
@@ -113,7 +119,8 @@ def run_campaign(
     # the ideal run calibrates the MTBF, so it must complete first; it is
     # itself one (cacheable) cell
     ideal = run_cells(
-        [cell("none", PlanSpec.none(), spares=1)], jobs=1, cache=cache
+        [cell("none", PlanSpec.none(), spares=1)], jobs=1, cache=cache,
+        progress=progress,
     )[0].report
     if mtbf_per_rank is None:
         # target ~max_failures failures over the ideal runtime
@@ -128,13 +135,118 @@ def run_campaign(
         )
         for strategy in strategies or DEFAULT_STRATEGIES
     ]
-    executed = run_cells(specs, jobs=jobs, cache=cache)
+    executed = run_cells(specs, jobs=jobs, cache=cache, progress=progress)
     results = [
         CampaignResult(strategy=res.spec.strategy, report=res.report,
                        failures=res.failures)
         for res in executed
     ]
     return CampaignStudy(ideal_wall=ideal.wall_time, results=results)
+
+
+def run_campaign_grid(
+    scales: Sequence[int] = (8,),
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    strategies: Optional[Sequence[str]] = None,
+    n_iters: int = 120,
+    mtbf_per_rank: Optional[float] = None,
+    max_failures: int = 3,
+    n_spares: int = 4,
+    ckpt_interval: int = CKPT_INTERVAL,
+    jobs: int = 1,
+    cache: Optional[RunCache] = None,
+    progress: Optional[CampaignProgress] = None,
+    trace_max_records: Optional[int] = DEFAULT_TRACE_MAX_RECORDS,
+):
+    """The cross-run campaign: (strategy x scale x seed) under random
+    failures, folded into a :class:`~repro.report.CampaignLedger`.
+
+    Per scale, the failure-free ``none`` cell runs first -- it is both
+    the efficiency baseline and (as in :func:`run_campaign`) the MTBF
+    calibrator when ``mtbf_per_rank`` is None.  Every cell, baselines
+    included, flows through :func:`~repro.parallel.run_cells` with the
+    shared ``cache``/``progress``, so the progress stream's cell count
+    reconciles exactly with the ledger.
+    """
+    from repro.report.ledger import CampaignLedger, RunRecord
+
+    strategies = list(strategies or DEFAULT_STRATEGIES)
+    scales = list(scales)
+    seeds = list(seeds)
+
+    def cell(strategy: str, n_ranks: int, plan: PlanSpec, spares: int,
+             label: str) -> CellSpec:
+        cfg = HeatdisConfig(
+            local_rows=8, cols=16, modeled_bytes_per_rank=256e6,
+            n_iters=n_iters, work_multiplier=2000.0,
+        )
+        return CellSpec(
+            app="heatdis",
+            strategy=strategy,
+            n_ranks=n_ranks,
+            config=cfg,
+            ckpt_interval=ckpt_interval,
+            env=paper_env(n_ranks + n_spares, n_spares=spares,
+                          pfs_servers=1),
+            plan=plan,
+            trace_max_records=trace_max_records,
+            label=label,
+        )
+
+    ledger = CampaignLedger(meta={
+        "app": "heatdis",
+        "n_iters": n_iters,
+        "ckpt_interval": ckpt_interval,
+        "strategies": strategies,
+        "scales": scales,
+        "seeds": seeds,
+        "max_failures": max_failures,
+    })
+
+    # baselines first (sequential per scale: the MTBF calibration reads
+    # them), then the full failure grid in one parallel batch
+    ideal_specs = [
+        cell("none", n_ranks, PlanSpec.none(), spares=1,
+             label=f"none/r{n_ranks}")
+        for n_ranks in scales
+    ]
+    mtbf: dict = {}
+    for spec, res in zip(
+        ideal_specs,
+        run_cells(ideal_specs, jobs=jobs, cache=cache, progress=progress),
+    ):
+        ledger.add_ideal(spec.n_ranks, res.report.wall_time)
+        ledger.add_run(RunRecord.from_cell_result(res, seed=0))
+        mtbf[spec.n_ranks] = (
+            mtbf_per_rank if mtbf_per_rank is not None
+            else res.report.wall_time * spec.n_ranks / max_failures
+        )
+
+    grid = []
+    grid_seeds = []
+    for n_ranks in scales:
+        for strategy in strategies:
+            for seed in seeds:
+                grid.append(cell(
+                    strategy, n_ranks,
+                    PlanSpec.exponential(mtbf[n_ranks], seed=seed,
+                                         max_failures=max_failures),
+                    spares=n_spares,
+                    label=f"{strategy}/r{n_ranks}/s{seed}",
+                ))
+                grid_seeds.append(seed)
+    executed = run_cells(grid, jobs=jobs, cache=cache, progress=progress)
+    for res, seed in zip(executed, grid_seeds):
+        ledger.add_run(RunRecord.from_cell_result(res, seed=seed))
+
+    ledger.meta["mtbf_per_rank"] = mtbf[scales[0]]
+    ledger.progress = {
+        "cells": ledger.cells(),
+        "cache_hits": sum(1 for r in ledger.runs if r.cached),
+        "cache_misses": sum(1 for r in ledger.runs if not r.cached),
+        "jobs": jobs,
+    }
+    return ledger
 
 
 def format_campaign(study: CampaignStudy) -> str:

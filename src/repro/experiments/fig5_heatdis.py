@@ -20,7 +20,13 @@ from typing import Dict, List, Optional, Tuple
 from repro.apps import HeatdisConfig
 from repro.harness import RunReport
 from repro.experiments.common import paper_env
-from repro.parallel import CellSpec, PlanSpec, RunCache, run_cells
+from repro.parallel import (
+    CampaignProgress,
+    CellSpec,
+    PlanSpec,
+    RunCache,
+    run_cells,
+)
 from repro.util.units import parse_size
 
 #: the strategy columns of Figure 5
@@ -119,10 +125,12 @@ def _assemble_cells(
     spec_groups: List[List[CellSpec]],
     jobs: int,
     cache: Optional[RunCache],
+    progress: Optional[CampaignProgress] = None,
 ) -> List[Fig5Cell]:
     """Flatten spec groups, execute once, regroup into figure cells."""
     flat = [s for group in spec_groups for s in group]
-    executed = iter(run_cells(flat, jobs=jobs, cache=cache))
+    executed = iter(run_cells(flat, jobs=jobs, cache=cache,
+                              progress=progress))
     cells = []
     for (strategy, data_bytes, n_ranks), group in zip(keys, spec_groups):
         reports = {s.label: next(executed).report for s in group}
@@ -157,6 +165,7 @@ def run_fig5_data_scaling(
     with_failure: bool = True,
     jobs: int = 1,
     cache: Optional[RunCache] = None,
+    progress: Optional[CampaignProgress] = None,
 ) -> List[Fig5Cell]:
     """The left panel: data scaling at fixed node count."""
     keys, groups = [], []
@@ -168,7 +177,8 @@ def run_fig5_data_scaling(
                 _cell_specs(strategy, data_bytes, n_ranks, with_failure,
                             victim=1, pfs_servers=4)
             )
-    return _assemble_cells(keys, groups, jobs=jobs, cache=cache)
+    return _assemble_cells(keys, groups, jobs=jobs, cache=cache,
+                           progress=progress)
 
 
 def run_fig5_weak_scaling(
@@ -178,6 +188,7 @@ def run_fig5_weak_scaling(
     with_failure: bool = True,
     jobs: int = 1,
     cache: Optional[RunCache] = None,
+    progress: Optional[CampaignProgress] = None,
 ) -> List[Fig5Cell]:
     """The right panel: node weak scaling at 1 GB per node."""
     keys, groups = [], []
@@ -189,7 +200,8 @@ def run_fig5_weak_scaling(
                 _cell_specs(strategy, data_bytes, n, with_failure,
                             victim=1, pfs_servers=4)
             )
-    return _assemble_cells(keys, groups, jobs=jobs, cache=cache)
+    return _assemble_cells(keys, groups, jobs=jobs, cache=cache,
+                           progress=progress)
 
 
 def format_fig5(cells: List[Fig5Cell], title: str = "Figure 5") -> str:

@@ -15,7 +15,13 @@ from typing import List, Optional
 from repro.apps import MiniMDConfig
 from repro.experiments.common import paper_env
 from repro.harness import JobCosts, RunReport
-from repro.parallel import CellSpec, PlanSpec, RunCache, run_cells
+from repro.parallel import (
+    CampaignProgress,
+    CellSpec,
+    PlanSpec,
+    RunCache,
+    run_cells,
+)
 
 FIG6_STRATEGIES = ["none", "kr_veloc", "fenix_kr_veloc"]
 
@@ -138,6 +144,7 @@ def run_fig6_weak_scaling(
     jitter: float = 0.05,
     jobs: int = 1,
     cache: Optional[RunCache] = None,
+    progress: Optional[CampaignProgress] = None,
 ) -> List[Fig6Cell]:
     keys, groups = [], []
     for n in ranks or RANK_COUNTS:
@@ -148,7 +155,8 @@ def run_fig6_weak_scaling(
                             victim=1, pfs_servers=4)
             )
     flat = [s for group in groups for s in group]
-    executed = iter(run_cells(flat, jobs=jobs, cache=cache))
+    executed = iter(run_cells(flat, jobs=jobs, cache=cache,
+                              progress=progress))
     cells = []
     for (strategy, n), group in zip(keys, groups):
         reports = {s.label: next(executed).report for s in group}

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional
 
 from repro.apps.minimd import MiniMDConfig, MiniMDState
 from repro.kokkos import KokkosRuntime
-from repro.parallel import parallel_map
+from repro.parallel import CampaignProgress, parallel_map
 
 SIM_SIZES = [100, 200, 300, 400]
 
@@ -56,9 +56,12 @@ def _census_row(size: int) -> Fig7Row:
 
 
 def run_fig7_census(
-    sizes: Optional[List[int]] = None, jobs: int = 1
+    sizes: Optional[List[int]] = None,
+    jobs: int = 1,
+    progress: Optional[CampaignProgress] = None,
 ) -> List[Fig7Row]:
-    return parallel_map(_census_row, sizes or SIM_SIZES, jobs=jobs)
+    return parallel_map(_census_row, sizes or SIM_SIZES, jobs=jobs,
+                        progress=progress)
 
 
 def format_fig7(rows: List[Fig7Row], title: str = "Figure 7") -> str:

@@ -324,6 +324,15 @@ class FenixSystem:
                     if idx == 1:
                         self.retired.add(ctx.rank)
                         return None  # job finished; spare exits cleanly
+                    if all(
+                        world.is_alive(w)
+                        for w in self.resilient_comm.members
+                    ):
+                        # the death was outside the resilient comm (e.g.
+                        # a fellow spare): no repair will happen -- no
+                        # survivor revokes the comm -- so going to the
+                        # gate would hang forever.  Resume waiting.
+                        continue
                 with tel.span(f"rank{ctx.rank}", "fenix.repair",
                               generation=self.generation, via="spare"):
                     repair: RepairResult = yield self._repair_gate.arrive(ctx.rank)

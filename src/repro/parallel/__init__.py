@@ -16,6 +16,13 @@ simulations; this package makes those sweeps cheap:
 
 from repro.parallel.cache import RunCache, cache_key, code_fingerprint
 from repro.parallel.executor import parallel_map, resolve_jobs, run_cells
+from repro.parallel.progress import (
+    CampaignProgress,
+    JsonlProgress,
+    ProgressSink,
+    TTYProgress,
+    default_progress,
+)
 from repro.parallel.spec import (
     DEFAULT_TRACE_MAX_RECORDS,
     CellResult,
@@ -32,6 +39,11 @@ __all__ = [
     "parallel_map",
     "resolve_jobs",
     "run_cells",
+    "CampaignProgress",
+    "JsonlProgress",
+    "ProgressSink",
+    "TTYProgress",
+    "default_progress",
     "CellResult",
     "CellSpec",
     "PlanSpec",

@@ -107,6 +107,11 @@ class RunCache:
         self.directory = pathlib.Path(directory)
         self.hits = 0
         self.misses = 0
+        #: entries that existed but were unreadable/corrupt and were
+        #: skipped (the cell re-simulates; the entry is overwritten)
+        self.skipped = 0
+        #: fresh results persisted by this process
+        self.stores = 0
 
     def _path(self, key: str) -> pathlib.Path:
         return self.directory / f"{key}.json"
@@ -121,12 +126,14 @@ class RunCache:
             entry = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
             self.misses += 1
+            self.skipped += 1
             return None
         self.hits += 1
         return CellResult(
             spec=spec,
             report=_report_from_entry(entry["report"]),
             failures=entry["failures"],
+            cached=True,
         )
 
     def put(self, spec: CellSpec, result: CellResult) -> None:
@@ -146,6 +153,17 @@ class RunCache:
         tmp = self._path(key).with_suffix(".tmp")
         tmp.write_text(payload)
         tmp.replace(self._path(key))
+        self.stores += 1
+
+    def summary(self) -> str:
+        """One-line provenance summary for CLI epilogues."""
+        line = (f"run cache: {self.hits} hit{'s' if self.hits != 1 else ''}, "
+                f"{self.misses} miss{'es' if self.misses != 1 else ''} "
+                f"({self.stores} stored) under {self.directory}")
+        if self.skipped:
+            line += f"; {self.skipped} corrupt entr" + (
+                "y" if self.skipped == 1 else "ies") + " skipped"
+        return line
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""

@@ -19,10 +19,12 @@ bit-identical to a sequential run.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.parallel.cache import RunCache
+from repro.parallel.progress import CampaignProgress
 from repro.parallel.spec import (
     CellResult,
     CellSpec,
@@ -47,35 +49,68 @@ def run_cells(
     specs: Sequence[CellSpec],
     jobs: Optional[int] = 1,
     cache: Optional[RunCache] = None,
+    progress: Optional[CampaignProgress] = None,
 ) -> List[CellResult]:
     """Execute every cell, in input order, cache-first then pool.
 
     Cache hits never reach a worker; only misses are simulated.  With
     ``jobs`` <= 1 (or a single miss) everything runs inline, which is
     also the degenerate case the determinism tests compare against.
+
+    ``progress`` receives one ``cell_done`` event per cell -- cached
+    cells immediately, simulated cells as each finishes (completion
+    order under a pool), so a sink shows live state without perturbing
+    the input-order result list.
     """
     specs = list(specs)
     results: List[Optional[CellResult]] = [None] * len(specs)
+    if progress is not None:
+        progress.add_cells(len(specs))
     misses: List[int] = []
     for i, spec in enumerate(specs):
         if cache is not None:
             hit = cache.get(spec)
             if hit is not None:
                 results[i] = hit
+                if progress is not None:
+                    progress.cell_done(i, spec.label, "cached")
                 continue
         misses.append(i)
 
     n_workers = min(resolve_jobs(jobs), len(misses)) if misses else 0
     if n_workers > 1:
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            for i, result in zip(
-                misses,
-                pool.map(execute_cell_stripped, [specs[i] for i in misses]),
-            ):
-                results[i] = result
+            futures = {}
+            for i in misses:
+                futures[pool.submit(execute_cell_stripped, specs[i])] = i
+                if progress is not None:
+                    progress.cell_submitted()
+            for fut in as_completed(futures):
+                i = futures[fut]
+                try:
+                    results[i] = fut.result()
+                except BaseException:
+                    if progress is not None:
+                        progress.cell_done(i, specs[i].label, "failed")
+                    raise
+                if progress is not None:
+                    progress.cell_done(
+                        i, specs[i].label, "fresh",
+                        host_seconds=results[i].host_seconds,
+                    )
     else:
         for i in misses:
-            results[i] = execute_cell(specs[i])
+            if progress is not None:
+                progress.cell_submitted()
+            try:
+                results[i] = execute_cell(specs[i])
+            except BaseException:
+                if progress is not None:
+                    progress.cell_done(i, specs[i].label, "failed")
+                raise
+            if progress is not None:
+                progress.cell_done(i, specs[i].label, "fresh",
+                                   host_seconds=results[i].host_seconds)
 
     if cache is not None:
         for i in misses:
@@ -87,15 +122,52 @@ def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
     jobs: Optional[int] = 1,
+    progress: Optional[CampaignProgress] = None,
 ) -> List[R]:
     """Order-preserving map for picklable, side-effect-free work.
 
     Used by drivers whose units are not simulation cells (e.g. the
     Figure 7 view census).  ``fn`` must be a module-level callable.
+    Like :func:`run_cells`, an optional ``progress`` tracker gets one
+    ``cell_done`` event per item (labelled by repr).
     """
     items = list(items)
+    if progress is not None:
+        progress.add_cells(len(items))
+    results: List[Optional[R]] = [None] * len(items)
     n_workers = min(resolve_jobs(jobs), len(items)) if items else 0
     if n_workers > 1:
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            return list(pool.map(fn, items))
-    return [fn(item) for item in items]
+            futures = {}
+            for i, item in enumerate(items):
+                futures[pool.submit(fn, item)] = i
+                if progress is not None:
+                    progress.cell_submitted()
+            for fut in as_completed(futures):
+                i = futures[fut]
+                try:
+                    results[i] = fut.result()
+                except BaseException:
+                    if progress is not None:
+                        progress.cell_done(i, repr(items[i]), "failed")
+                    raise
+                if progress is not None:
+                    # plain-function items carry no duration of their
+                    # own; ETA falls back to other fresh cells
+                    progress.cell_done(i, repr(items[i]), "fresh")
+        return results  # type: ignore[return-value]
+    out: List[R] = []
+    for i, item in enumerate(items):
+        if progress is not None:
+            progress.cell_submitted()
+        t0 = time.perf_counter()
+        try:
+            out.append(fn(item))
+        except BaseException:
+            if progress is not None:
+                progress.cell_done(i, repr(item), "failed")
+            raise
+        if progress is not None:
+            progress.cell_done(i, repr(item), "fresh",
+                               host_seconds=time.perf_counter() - t0)
+    return out

@@ -1,0 +1,252 @@
+"""Live campaign progress: per-cell state, ETA, cache and worker stats.
+
+Long sweeps used to run silently: with ``--jobs 8`` the first output
+arrived minutes in, and nothing distinguished a cached cell from a
+simulated one.  :class:`CampaignProgress` is the executor-side tracker;
+it receives one event per cell (submitted / finished, with provenance)
+and fans a small dict-shaped event stream out to *sinks*:
+
+- :class:`TTYProgress` -- a single overwritten status line for humans
+  (``\\r``-style, stderr), showing completed/total, cache hits, worker
+  utilization and the ETA extrapolated from completed-cell durations;
+- :class:`JsonlProgress` -- one JSON object per line for headless runs
+  (CI tails the file; tests reconcile its cell count with the ledger).
+
+Events are host-time observations (``time.perf_counter`` durations), so
+they are *observability of the run itself*, never inputs to the
+simulation -- determinism of the results is untouched.
+
+Event vocabulary (the JSONL contract, ``schema`` 1)::
+
+    {"event": "campaign_start", "total": N, "jobs": J}
+    {"event": "cell_done", "index": i, "label": ..., "state":
+        "cached"|"fresh"|"failed", "host_seconds": s, "completed": c,
+        "total": N, "cache_hits": h, "cache_misses": m, "eta_s": e,
+        "utilization": u}
+    {"event": "campaign_end", "total": N, "cached": h, "fresh": f,
+        "failed": x, "host_seconds": s}
+
+``eta_s`` is ``remaining * mean(fresh host_seconds) / jobs`` -- the
+simplest estimator that is exact for uniform cells -- and ``None`` until
+one fresh cell has finished.  ``utilization`` is in-flight cells over
+worker slots, clamped to [0, 1].
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Any, Dict, IO, List, Optional
+
+#: JSONL event-stream schema version
+PROGRESS_SCHEMA = 1
+
+#: cell terminal states
+CELL_STATES = ("cached", "fresh", "failed")
+
+
+class ProgressSink:
+    """Receives progress events as plain dicts; subclass per transport."""
+
+    def emit(self, event: Dict[str, Any]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/terminate the stream (campaign end)."""
+
+
+class JsonlProgress(ProgressSink):
+    """Append one JSON object per event to a file (headless runs)."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh: Optional[IO[str]] = open(path, "w", encoding="utf-8")
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+        self._fh.flush()  # tail -f must see cells as they land
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class TTYProgress(ProgressSink):
+    """Single-line live status for interactive terminals.
+
+    Rewrites one stderr line per event; prints a final newline-terminated
+    summary on close so the last state survives in scrollback.
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None):
+        self.stream = stream if stream is not None else sys.stderr
+        self._dirty = False
+        self._last = ""
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        if event.get("event") == "campaign_end":
+            self._render_end(event)
+            return
+        if event.get("event") != "cell_done":
+            return
+        eta = event.get("eta_s")
+        eta_text = f"eta {eta:.0f}s" if eta is not None else "eta --"
+        util = event.get("utilization")
+        util_text = f" busy {util:.0%}" if util is not None else ""
+        line = (
+            f"[{event['completed']}/{event['total']}] "
+            f"{event.get('label') or 'cell'}: {event['state']}  "
+            f"(cache {event['cache_hits']} hit"
+            f"/{event['cache_misses']} miss, {eta_text}{util_text})"
+        )
+        self._write(line)
+
+    def _render_end(self, event: Dict[str, Any]) -> None:
+        self._write(
+            f"campaign done: {event['total']} cells "
+            f"({event['cached']} cached, {event['fresh']} simulated"
+            + (f", {event['failed']} failed" if event.get("failed") else "")
+            + f") in {event['host_seconds']:.1f}s"
+        )
+        self.close()
+
+    def _write(self, line: str) -> None:
+        pad = max(0, len(self._last) - len(line))
+        self.stream.write("\r" + line + " " * pad)
+        self.stream.flush()
+        self._last = line
+        self._dirty = True
+
+    def close(self) -> None:
+        if self._dirty:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._dirty = False
+
+
+class CampaignProgress:
+    """Executor-side bookkeeping shared by every sink.
+
+    One instance may span several :func:`~repro.parallel.run_cells`
+    calls (a campaign is many sweeps); ``start`` is emitted lazily on
+    the first batch and totals accumulate until :meth:`finish`.
+    """
+
+    def __init__(self, sinks: Optional[List[ProgressSink]] = None,
+                 jobs: int = 1):
+        self.sinks = list(sinks or [])
+        self.jobs = max(1, jobs)
+        self.total = 0
+        self.completed = 0
+        self.cached = 0
+        self.fresh = 0
+        self.failed = 0
+        self.in_flight = 0
+        self._fresh_seconds: List[float] = []
+        self._t0: Optional[float] = None
+        self._started = False
+
+    # -- executor hooks -------------------------------------------------
+
+    def add_cells(self, n: int) -> None:
+        """Announce ``n`` more cells (called per run_cells batch)."""
+        if self._t0 is None:
+            self._t0 = time.perf_counter()
+        self.total += n
+        if not self._started:
+            self._started = True
+            self._emit({
+                "event": "campaign_start",
+                "schema": PROGRESS_SCHEMA,
+                "total": self.total,
+                "jobs": self.jobs,
+            })
+
+    def cell_submitted(self) -> None:
+        self.in_flight += 1
+
+    def cell_done(self, index: int, label: str, state: str,
+                  host_seconds: float = 0.0) -> None:
+        if state not in CELL_STATES:
+            raise ValueError(f"unknown cell state {state!r}")
+        self.in_flight = max(0, self.in_flight - 1)
+        self.completed += 1
+        if state == "cached":
+            self.cached += 1
+        elif state == "fresh":
+            self.fresh += 1
+            self._fresh_seconds.append(host_seconds)
+        else:
+            self.failed += 1
+        self._emit({
+            "event": "cell_done",
+            "index": index,
+            "label": label,
+            "state": state,
+            "host_seconds": round(host_seconds, 6),
+            "completed": self.completed,
+            "total": self.total,
+            "cache_hits": self.cached,
+            "cache_misses": self.fresh + self.failed,
+            "eta_s": self.eta_s(),
+            "utilization": self.utilization(),
+        })
+
+    def finish(self) -> None:
+        """Emit the terminal summary and close every sink."""
+        elapsed = (time.perf_counter() - self._t0) if self._t0 else 0.0
+        self._emit({
+            "event": "campaign_end",
+            "total": self.total,
+            "cached": self.cached,
+            "fresh": self.fresh,
+            "failed": self.failed,
+            "host_seconds": round(elapsed, 6),
+        })
+        for sink in self.sinks:
+            sink.close()
+
+    # -- derived stats --------------------------------------------------
+
+    def eta_s(self) -> Optional[float]:
+        """Remaining host seconds, from completed fresh-cell durations."""
+        if not self._fresh_seconds:
+            return None
+        remaining = max(0, self.total - self.completed)
+        mean = sum(self._fresh_seconds) / len(self._fresh_seconds)
+        return round(remaining * mean / self.jobs, 6)
+
+    def utilization(self) -> float:
+        """Busy worker slots as a fraction of ``jobs``."""
+        return min(1.0, self.in_flight / self.jobs)
+
+    # -- internals ------------------------------------------------------
+
+    def _emit(self, event: Dict[str, Any]) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+
+def default_progress(
+    jobs: int,
+    jsonl_path: Optional[str] = None,
+    tty: Optional[bool] = None,
+    stream: Optional[IO[str]] = None,
+) -> Optional[CampaignProgress]:
+    """The CLI wiring: JSONL sink when a path is given, TTY sink when
+    stderr is a terminal (or ``tty`` forces it); None when neither."""
+    sinks: List[ProgressSink] = []
+    if jsonl_path:
+        sinks.append(JsonlProgress(jsonl_path))
+    out = stream if stream is not None else sys.stderr
+    if tty is None:
+        tty = hasattr(out, "isatty") and out.isatty()
+    if tty:
+        sinks.append(TTYProgress(out))
+    if not sinks:
+        return None
+    return CampaignProgress(sinks, jobs=jobs)

@@ -17,6 +17,7 @@ makes cells content-addressable (see :mod:`repro.parallel.cache`).
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Optional, Tuple
 
@@ -173,6 +174,11 @@ class CellResult:
     spec: CellSpec
     report: RunReport
     failures: int
+    #: provenance: True when served from the run cache (no simulation)
+    cached: bool = False
+    #: host wall seconds the simulation took (0.0 for cache hits);
+    #: observability only -- never an input to anything simulated
+    host_seconds: float = 0.0
 
     @property
     def label(self) -> str:
@@ -203,6 +209,7 @@ def execute_cell(spec: CellSpec) -> CellResult:
         telemetry = Telemetry()
     plan = spec.plan.build()
     runner = _APP_RUNNERS[spec.app]
+    t0 = time.perf_counter()
     report = runner(
         spec.env,
         spec.strategy,
@@ -213,10 +220,12 @@ def execute_cell(spec: CellSpec) -> CellResult:
         telemetry=telemetry,
         trace_max_records=spec.trace_max_records,
     )
+    host_seconds = time.perf_counter() - t0
     RUNS_EXECUTED += 1
     fired = getattr(plan, "fired", None)
     failures = fired if fired is not None else plan.expected_failures()
-    return CellResult(spec=spec, report=report, failures=failures)
+    return CellResult(spec=spec, report=report, failures=failures,
+                      host_seconds=host_seconds)
 
 
 def execute_cell_stripped(spec: CellSpec) -> CellResult:

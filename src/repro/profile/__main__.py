@@ -33,6 +33,14 @@ from repro.profile.critical_path import (
 )
 from repro.profile.flamegraph import write_folded
 from repro.profile.ledger import ConservationError, build_ledger, format_ledger
+from repro.report.compare import (
+    EXIT_BAD_INPUT,
+    add_budget_flag,
+    budget_verdict,
+    compare_scalars,
+    format_deltas,
+    over_budget,
+)
 
 APPS = ("heatdis", "heatdis2d", "minimd")
 
@@ -97,9 +105,9 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="compare two ledger JSON files per category")
     diff.add_argument("baseline")
     diff.add_argument("current")
-    diff.add_argument("--budget", type=float, default=0.05,
-                      help="max relative growth per category before "
-                           "failing (default 0.05 = 5%%)")
+    add_budget_flag(diff, 0.05,
+                    "max relative growth per category before "
+                    "failing (default 0.05 = 5%%)")
     diff.add_argument("--abs-floor", type=float, default=1e-3,
                       help="ignore categories smaller than this many "
                            "seconds in both ledgers")
@@ -238,28 +246,20 @@ def _diff(args: argparse.Namespace) -> int:
     base = _load_mean(args.baseline)
     cur = _load_mean(args.current)
     if base is None or cur is None:
-        return 2
-    failing = []
-    width = max(len(c) for c in CATEGORIES)
-    for cat in CATEGORIES:
-        b = float(base.get(cat, 0.0))
-        c = float(cur.get(cat, 0.0))
-        if b < args.abs_floor and c < args.abs_floor:
-            continue
-        growth = (c - b) / b if b > 0 else float("inf")
-        over = growth > args.budget
-        if over:
-            failing.append(cat)
-        marker = "  OVER-BUDGET" if over else ""
-        print(f"{cat:<{width}}  {b:.6f} -> {c:.6f}  "
-              f"({growth:+.1%}){marker}")
-    if failing:
-        print(f"{len(failing)} categor{'y' if len(failing) == 1 else 'ies'} "
-              f"grew beyond the {args.budget:.0%} budget: "
-              + ", ".join(failing), file=sys.stderr)
-        return 1
-    print(f"all categories within the {args.budget:.0%} budget")
-    return 0
+        return EXIT_BAD_INPUT
+    deltas = compare_scalars(
+        {c: float(base.get(c, 0.0)) for c in CATEGORIES},
+        {c: float(cur.get(c, 0.0)) for c in CATEGORIES},
+        keys=CATEGORIES,
+    )
+    failing = over_budget(deltas, args.budget, mode="growth",
+                          abs_floor=args.abs_floor)
+    for line in format_deltas(deltas, failing, mode="growth",
+                              value_format="{:.6f}"):
+        print(line)
+    code, verdict = budget_verdict(failing, args.budget, what="category")
+    print(verdict, file=sys.stderr if failing else sys.stdout)
+    return code
 
 
 def main(argv: Optional[list] = None) -> int:

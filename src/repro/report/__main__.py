@@ -1,0 +1,265 @@
+"""Campaign report CLI: run, render, score, and gate campaigns.
+
+Usage (repository root, ``PYTHONPATH=src``)::
+
+    # run the default multi-seed, multi-strategy campaign and write
+    # report.html + campaign.json + scorecard.json + progress.jsonl
+    python -m repro.report [run] --seeds 7,11,13 --ranks 8 --jobs 4 \
+        --out report-out
+
+    # re-render / inspect an existing campaign ledger
+    python -m repro.report render report-out/campaign.json --out r.html
+    python -m repro.report scorecard report-out/campaign.json
+
+    # CI gate: exit 1 when a tracked scorecard metric regresses past
+    # the budget (baseline/current are ledger or scorecard JSON)
+    python -m repro.report diff results/campaign_baseline.json \
+        report-out/scorecard.json --budget 0.10
+
+``run`` with no subcommand is the default.  The HTML report is fully
+self-contained (inline CSS/SVG, embedded timelines and flame stacks, no
+network), so it works as a CI artifact or over ``file://`` unchanged.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.report.compare import (
+    EXIT_BAD_INPUT,
+    EXIT_OK,
+    add_budget_flag,
+    budget_verdict,
+    format_deltas,
+)
+from repro.report.html import render_html
+from repro.report.ledger import (
+    CampaignLedger,
+    build_scorecard,
+    flag_anomalies,
+    format_scorecard,
+    scorecard_regressions,
+)
+
+#: default relative budget for the scorecard diff gate: simulated
+#: metrics are deterministic, so 10% headroom only forgives intentional
+#: small model adjustments, not behavior changes
+DEFAULT_DIFF_BUDGET = 0.10
+
+
+def _int_list(text: str) -> List[int]:
+    return [int(x) for x in text.split(",") if x.strip()]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.report",
+        description="Cross-run campaign scorecards and HTML reports.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    run = sub.add_parser("run", help="run a seeded campaign and render "
+                                     "the report (the default)")
+    run.add_argument("--seeds", type=_int_list, default=None,
+                     metavar="S1,S2,...",
+                     help="failure-plan seeds (default 7,11,13)")
+    run.add_argument("--strategies", default=None, metavar="A,B",
+                     help="comma-separated strategy names "
+                          "(default kr_veloc,fenix_kr_veloc)")
+    run.add_argument("--ranks", type=_int_list, default=None,
+                     metavar="R1,R2,...",
+                     help="scales to sweep (default 8)")
+    run.add_argument("--iters", type=int, default=120,
+                     help="Heatdis iterations per cell (default 120)")
+    run.add_argument("--max-failures", type=int, default=3,
+                     help="failure injections per cell (default 3)")
+    run.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes (0 = one per CPU)")
+    run.add_argument("--no-cache", action="store_true",
+                     help="always re-simulate; ignore the run cache")
+    run.add_argument("--cache-dir", default="results/cache")
+    run.add_argument("--out", default="report-out",
+                     help="output directory (default report-out)")
+    run.add_argument("--title", default="Campaign resilience report")
+    run.add_argument("--no-exemplars", action="store_true",
+                     help="skip the per-strategy instrumented exemplar "
+                          "runs (faster; report loses the embedded "
+                          "timeline/flame sections)")
+    run.add_argument("--bench", default="BENCH_simulator.json",
+                     help="pytest-benchmark baseline for host-cost "
+                          "anomaly flags ('' disables)")
+    run.add_argument("--progress-jsonl", default=None, metavar="PATH",
+                     help="progress event stream path (default "
+                          "OUT/progress.jsonl)")
+
+    rend = sub.add_parser("render", help="ledger JSON -> HTML")
+    rend.add_argument("ledger")
+    rend.add_argument("--out", default="report.html")
+    rend.add_argument("--title", default="Campaign resilience report")
+
+    score = sub.add_parser("scorecard",
+                           help="print the text scorecard of a ledger")
+    score.add_argument("ledger")
+    score.add_argument("--json", default=None,
+                       help="also write the scorecard JSON here")
+
+    diff = sub.add_parser("diff",
+                          help="gate a scorecard against a baseline")
+    diff.add_argument("baseline", help="ledger or scorecard JSON")
+    diff.add_argument("current", help="ledger or scorecard JSON")
+    add_budget_flag(diff, DEFAULT_DIFF_BUDGET,
+                    "max relative move in a tracked metric's bad "
+                    "direction before failing (default 0.10 = 10%%)")
+    return parser
+
+
+def _load_scorecard(path: str) -> Optional[dict]:
+    """Read a scorecard from a scorecard JSON or a ledger JSON."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError, ValueError) as exc:
+        print(f"cannot load {path}: {exc}", file=sys.stderr)
+        return None
+    if "strategies" in doc:
+        return doc
+    if "runs" in doc:
+        try:
+            return build_scorecard(CampaignLedger.from_dict(doc))
+        except (KeyError, ValueError) as exc:
+            print(f"{path}: not a usable ledger: {exc}", file=sys.stderr)
+            return None
+    print(f"{path}: neither a scorecard nor a campaign ledger",
+          file=sys.stderr)
+    return None
+
+
+def _run(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import (
+        DEFAULT_SEEDS,
+        DEFAULT_STRATEGIES,
+        run_campaign_grid,
+    )
+    from repro.parallel import RunCache, default_progress, resolve_jobs
+    from repro.report.exemplars import collect_exemplars
+
+    seeds = args.seeds or list(DEFAULT_SEEDS)
+    strategies = (args.strategies.split(",") if args.strategies
+                  else list(DEFAULT_STRATEGIES))
+    scales = args.ranks or [8]
+    os.makedirs(args.out, exist_ok=True)
+    jsonl_path = args.progress_jsonl or os.path.join(
+        args.out, "progress.jsonl"
+    )
+    progress = default_progress(resolve_jobs(args.jobs),
+                                jsonl_path=jsonl_path)
+    cache = None if args.no_cache else RunCache(args.cache_dir)
+
+    ledger = run_campaign_grid(
+        scales=scales, seeds=seeds, strategies=strategies,
+        n_iters=args.iters, max_failures=args.max_failures,
+        jobs=args.jobs, cache=cache, progress=progress,
+    )
+    if progress is not None:
+        progress.finish()
+        ledger.progress["jsonl"] = jsonl_path
+    if not args.no_exemplars:
+        ledger.exemplars = collect_exemplars(strategies,
+                                             n_ranks=min(scales))
+
+    bench = None
+    if args.bench:
+        try:
+            with open(args.bench, "r", encoding="utf-8") as fh:
+                bench = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            print(f"note: benchmark baseline {args.bench!r} unreadable; "
+                  "host anomaly flags skipped", file=sys.stderr)
+    scorecard = build_scorecard(ledger)
+    if bench is not None:
+        scorecard["flags"] = flag_anomalies(ledger, bench=bench)
+
+    ledger_path = os.path.join(args.out, "campaign.json")
+    score_path = os.path.join(args.out, "scorecard.json")
+    html_path = os.path.join(args.out, "report.html")
+    ledger.save(ledger_path)
+    with open(score_path, "w", encoding="utf-8") as fh:
+        json.dump(scorecard, fh, indent=1, sort_keys=True)
+    with open(html_path, "w", encoding="utf-8") as fh:
+        fh.write(render_html(ledger, scorecard, title=args.title))
+
+    print(format_scorecard(scorecard))
+    if cache is not None:
+        print(cache.summary())
+    print(f"wrote {html_path}, {ledger_path}, {score_path}; "
+          f"progress stream at {jsonl_path}")
+    return EXIT_OK
+
+
+def _render(args: argparse.Namespace) -> int:
+    try:
+        ledger = CampaignLedger.load(args.ledger)
+    except (OSError, json.JSONDecodeError, ValueError, KeyError) as exc:
+        print(f"cannot load {args.ledger}: {exc}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(render_html(ledger, title=args.title))
+    print(f"wrote {args.out}")
+    return EXIT_OK
+
+
+def _scorecard(args: argparse.Namespace) -> int:
+    try:
+        ledger = CampaignLedger.load(args.ledger)
+    except (OSError, json.JSONDecodeError, ValueError, KeyError) as exc:
+        print(f"cannot load {args.ledger}: {exc}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    scorecard = build_scorecard(ledger)
+    print(format_scorecard(scorecard))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(scorecard, fh, indent=1, sort_keys=True)
+        print(f"wrote {args.json}")
+    return EXIT_OK
+
+
+def _diff(args: argparse.Namespace) -> int:
+    base = _load_scorecard(args.baseline)
+    cur = _load_scorecard(args.current)
+    if base is None or cur is None:
+        return EXIT_BAD_INPUT
+    rows, failing = scorecard_regressions(base, cur, args.budget)
+    for line in format_deltas(rows, failing, mode="growth",
+                              value_format="{:.4g}"):
+        print(line)
+    code, verdict = budget_verdict(failing, args.budget,
+                                   what="scorecard metric")
+    print(verdict, file=sys.stderr if failing else sys.stdout)
+    return code
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command in (None, "run"):
+        if args.command is None:
+            # bare `python -m repro.report` = `run` with defaults
+            args = parser.parse_args(["run", *(argv or sys.argv[1:])])
+        return _run(args)
+    if args.command == "render":
+        return _render(args)
+    if args.command == "scorecard":
+        return _scorecard(args)
+    return _diff(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

@@ -22,10 +22,17 @@ import os
 import sys
 from typing import Optional
 
+from repro.report.compare import (
+    EXIT_BAD_INPUT,
+    Delta,
+    add_budget_flag,
+    budget_verdict,
+    format_deltas,
+    over_budget,
+)
 from repro.telemetry.collector import Telemetry
 from repro.telemetry.export import (
     diff_metrics,
-    out_of_tolerance,
     validate_chrome_trace,
     write_chrome_trace,
     write_metrics,
@@ -72,10 +79,10 @@ def _build_parser() -> argparse.ArgumentParser:
     diff = sub.add_parser("diff", help="compare two metrics.json files")
     diff.add_argument("a")
     diff.add_argument("b")
-    diff.add_argument("--tolerance", type=float, default=0.0,
-                      help="relative tolerance (0.05 = within 5%%); exits "
-                           "non-zero when any metric differs by more "
-                           "(default 0: any difference fails)")
+    add_budget_flag(diff, 0.0,
+                    "relative tolerance (0.05 = within 5%%); exits "
+                    "non-zero when any metric differs by more "
+                    "(default 0: any difference fails)")
     return parser
 
 
@@ -199,25 +206,20 @@ def _diff(args: argparse.Namespace) -> int:
     da = _load_json(args.a)
     db = _load_json(args.b)
     if da is None or db is None:
-        return 2
+        return EXIT_BAD_INPUT
     rows = diff_metrics(da, db)
     if not rows:
         print("metrics identical")
         return 0
-    failing = {r[0] for r in out_of_tolerance(rows, args.tolerance)}
-    width = max(len(r[0]) for r in rows)
-    for name, va, vb in rows:
-        fa = "absent" if va is None else f"{va:g}"
-        fb = "absent" if vb is None else f"{vb:g}"
-        marker = "  OUT-OF-TOLERANCE" if name in failing else ""
-        print(f"{name:<{width}}  {fa} -> {fb}{marker}")
-    if failing:
-        print(f"{len(failing)} metric(s) beyond tolerance "
-              f"{args.tolerance:g}", file=sys.stderr)
-        return 1
-    print(f"{len(rows)} difference(s), all within tolerance "
-          f"{args.tolerance:g}")
-    return 0
+    # symmetric mode: telemetry diffs care about drift in either
+    # direction, unlike the profile CLI's growth-only overhead budget
+    deltas = [Delta(name, va, vb) for name, va, vb in rows]
+    failing = over_budget(deltas, args.budget, mode="symmetric")
+    for line in format_deltas(deltas, failing, mode="symmetric"):
+        print(line)
+    code, verdict = budget_verdict(failing, args.budget, what="metric")
+    print(verdict, file=sys.stderr if failing else sys.stdout)
+    return code
 
 
 def main(argv: Optional[list] = None) -> int:

@@ -123,7 +123,16 @@ def render_timeline(
                 if r[3] == ANNOTATION_TAG or r[2] in allowed]
     rows.sort(key=lambda r: (r[0], r[1]))
     if limit is not None:
-        rows = rows[:limit]
+        # the limit counts ordinary events only; annotation rows
+        # (dropped-window notices) always survive, like the filters
+        kept, seen = [], 0
+        for r in rows:
+            if r[3] == ANNOTATION_TAG:
+                kept.append(r)
+            elif seen < limit:
+                kept.append(r)
+                seen += 1
+        rows = kept
     return format_rows(rows)
 
 

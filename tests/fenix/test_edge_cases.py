@@ -53,6 +53,41 @@ class TestSpareDeath:
         assert finished == [("finished", 0), ("finished", 1), ("finished", 2)]
         assert world.dead == {1, 3}
 
+    def test_spare_only_death_does_not_strand_other_spares(self):
+        """A failure that kills only an idle spare must not send the
+        remaining spares to a repair gate: no resilient-comm member
+        died, so no survivor will ever rendezvous there -- they must
+        resume waiting and exit cleanly at job end."""
+        cluster = fenix_cluster(6)
+        world = World(cluster, 6)
+        system = FenixSystem(world, n_spares=3)  # spares: ranks 3, 4, 5
+        spare_killer = TimedFailure([(4, 0.7)])
+        results = {}
+
+        def main(role, h):
+            for _ in range(4):
+                yield from h.ctx.sleep(0.5)
+                yield from h.allreduce(1, op=SUM)
+            return ("finished", h.rank)
+
+        def wrapped(rank):
+            ctx = world.context(rank)
+            res = yield from system.run(ctx, main)
+            results[rank] = res
+
+        for r in range(6):
+            proc = world.spawn(r, wrapped(r))
+            spare_killer.arm(cluster.engine, r, proc)
+        cluster.engine.run()  # deadlocks here if spares hit the gate
+        world.raise_job_errors()
+        finished = sorted(v for v in results.values()
+                          if isinstance(v, tuple))
+        assert finished == [("finished", 0), ("finished", 1),
+                            ("finished", 2)]
+        assert world.dead == {4}
+        # the untouched spares were released, not stranded
+        assert results[3] is None and results[5] is None
+
     def test_dead_spare_not_selected_as_replacement(self):
         cluster = fenix_cluster(4)
         world = World(cluster, 4)

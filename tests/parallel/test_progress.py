@@ -1,0 +1,182 @@
+"""Live campaign progress: sinks, counters, ETA, executor integration."""
+
+import io
+import json
+
+import pytest
+
+from repro.apps import HeatdisConfig
+from repro.experiments.common import paper_env
+from repro.parallel import (
+    CampaignProgress,
+    CellSpec,
+    JsonlProgress,
+    PlanSpec,
+    RunCache,
+    TTYProgress,
+    default_progress,
+    parallel_map,
+    run_cells,
+)
+from repro.parallel.progress import PROGRESS_SCHEMA
+
+
+class ListSink:
+    def __init__(self):
+        self.events = []
+        self.closed = False
+
+    def emit(self, event):
+        self.events.append(event)
+
+    def close(self):
+        self.closed = True
+
+
+def small_spec(label="cell", seed=0):
+    cfg = HeatdisConfig(n_iters=6, modeled_bytes_per_rank=1e6)
+    return CellSpec(
+        app="heatdis", strategy="kr_veloc", n_ranks=2, config=cfg,
+        ckpt_interval=3, env=paper_env(3, n_spares=0, seed=seed,
+                                       pfs_servers=1),
+        plan=PlanSpec.none(), label=label,
+    )
+
+
+class TestCampaignProgress:
+    def test_event_sequence_and_counters(self):
+        sink = ListSink()
+        p = CampaignProgress([sink], jobs=2)
+        p.add_cells(2)
+        p.cell_submitted()
+        p.cell_submitted()
+        p.cell_done(0, "a", "fresh", host_seconds=2.0)
+        p.cell_done(1, "b", "cached")
+        p.finish()
+        kinds = [e["event"] for e in sink.events]
+        assert kinds == ["campaign_start", "cell_done", "cell_done",
+                         "campaign_end"]
+        start = sink.events[0]
+        assert start["schema"] == PROGRESS_SCHEMA
+        assert start["total"] == 2 and start["jobs"] == 2
+        end = sink.events[-1]
+        assert end["cached"] == 1 and end["fresh"] == 1
+        assert end["failed"] == 0
+        assert sink.closed
+
+    def test_start_emitted_once_totals_accumulate(self):
+        sink = ListSink()
+        p = CampaignProgress([sink], jobs=1)
+        p.add_cells(1)
+        p.add_cells(3)  # second sweep of the same campaign
+        starts = [e for e in sink.events if e["event"] == "campaign_start"]
+        assert len(starts) == 1
+        assert p.total == 4
+
+    def test_eta_from_fresh_durations(self):
+        p = CampaignProgress(jobs=2)
+        p.add_cells(4)
+        assert p.eta_s() is None  # nothing finished yet
+        p.cell_done(0, "a", "fresh", host_seconds=4.0)
+        p.cell_done(1, "b", "fresh", host_seconds=2.0)
+        # 2 remaining x mean(3s) / 2 workers
+        assert p.eta_s() == pytest.approx(3.0)
+
+    def test_cached_cells_do_not_skew_eta(self):
+        p = CampaignProgress(jobs=1)
+        p.add_cells(3)
+        p.cell_done(0, "a", "cached")
+        assert p.eta_s() is None
+        p.cell_done(1, "b", "fresh", host_seconds=5.0)
+        assert p.eta_s() == pytest.approx(5.0)
+
+    def test_utilization_clamped(self):
+        p = CampaignProgress(jobs=2)
+        p.add_cells(4)
+        assert p.utilization() == 0.0
+        for _ in range(4):
+            p.cell_submitted()
+        assert p.utilization() == 1.0
+
+    def test_unknown_state_rejected(self):
+        p = CampaignProgress(jobs=1)
+        p.add_cells(1)
+        with pytest.raises(ValueError):
+            p.cell_done(0, "a", "exploded")
+
+
+class TestSinks:
+    def test_jsonl_one_object_per_line(self, tmp_path):
+        path = tmp_path / "progress.jsonl"
+        p = CampaignProgress([JsonlProgress(str(path))], jobs=1)
+        p.add_cells(1)
+        p.cell_done(0, "a", "fresh", host_seconds=0.5)
+        p.finish()
+        lines = path.read_text().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert [e["event"] for e in events] == \
+            ["campaign_start", "cell_done", "campaign_end"]
+
+    def test_tty_single_overwritten_line(self):
+        out = io.StringIO()
+        p = CampaignProgress([TTYProgress(out)], jobs=1)
+        p.add_cells(2)
+        p.cell_done(0, "a", "cached")
+        p.cell_done(1, "b", "fresh", host_seconds=0.1)
+        p.finish()
+        text = out.getvalue()
+        assert text.count("\r") == 3  # every update rewrites one line
+        assert text.endswith("\n")  # final state survives in scrollback
+        assert "campaign done: 2 cells" in text
+
+    def test_default_progress_wiring(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        p = default_progress(2, jsonl_path=str(path))
+        assert isinstance(p.sinks[0], JsonlProgress)
+        p.finish()
+        # no JSONL path + non-tty stream -> no tracker at all
+        assert default_progress(2, stream=io.StringIO()) is None
+        forced = default_progress(2, tty=True, stream=io.StringIO())
+        assert isinstance(forced.sinks[0], TTYProgress)
+
+
+class TestExecutorIntegration:
+    def test_run_cells_emits_one_event_per_cell(self):
+        sink = ListSink()
+        progress = CampaignProgress([sink], jobs=2)
+        specs = [small_spec(f"c{i}", seed=i) for i in range(3)]
+        run_cells(specs, jobs=2, progress=progress)
+        done = [e for e in sink.events if e["event"] == "cell_done"]
+        assert len(done) == 3
+        assert {e["index"] for e in done} == {0, 1, 2}
+        assert all(e["state"] == "fresh" for e in done)
+        assert all(e["host_seconds"] > 0 for e in done)
+
+    def test_cache_hits_reported_as_cached(self, tmp_path):
+        cache = RunCache(str(tmp_path / "cache"))
+        specs = [small_spec(f"c{i}", seed=i) for i in range(2)]
+        run_cells(specs, jobs=1, cache=cache)
+        sink = ListSink()
+        progress = CampaignProgress([sink], jobs=1)
+        run_cells(specs, jobs=1, cache=cache, progress=progress)
+        done = [e for e in sink.events if e["event"] == "cell_done"]
+        assert [e["state"] for e in done] == ["cached", "cached"]
+        assert done[-1]["cache_hits"] == 2
+
+    def test_progress_does_not_perturb_results(self):
+        from repro.harness.report import reports_to_json
+
+        specs = [small_spec(f"c{i}", seed=i) for i in range(2)]
+        silent = run_cells(specs, jobs=1)
+        progress = CampaignProgress([ListSink()], jobs=2)
+        tracked = run_cells(specs, jobs=2, progress=progress)
+        assert reports_to_json([r.report for r in silent]) == \
+            reports_to_json([r.report for r in tracked])
+
+    def test_parallel_map_progress(self):
+        sink = ListSink()
+        progress = CampaignProgress([sink], jobs=2)
+        out = parallel_map(abs, [-1, 2, -3], jobs=2, progress=progress)
+        assert out == [1, 2, 3]
+        done = [e for e in sink.events if e["event"] == "cell_done"]
+        assert len(done) == 3

@@ -1,0 +1,118 @@
+"""The shared diff helper: modes, budgets, exit codes, flag aliases."""
+
+import argparse
+
+import pytest
+
+from repro.report.compare import (
+    EXIT_OK,
+    EXIT_REGRESSION,
+    Delta,
+    add_budget_flag,
+    budget_verdict,
+    compare_scalars,
+    format_deltas,
+    over_budget,
+    relative_change,
+)
+
+
+class TestRelativeChange:
+    def test_growth_mode(self):
+        assert relative_change(10.0, 11.0, "growth") == pytest.approx(0.1)
+        assert relative_change(10.0, 9.0, "growth") == pytest.approx(-0.1)
+
+    def test_growth_zero_baseline(self):
+        assert relative_change(0.0, 1.0, "growth") == float("inf")
+        assert relative_change(0.0, 0.0, "growth") == 0.0
+
+    def test_symmetric_mode_direction_agnostic(self):
+        up = relative_change(10.0, 11.0, "symmetric")
+        down = relative_change(11.0, 10.0, "symmetric")
+        assert up == down == pytest.approx(1.0 / 11.0)
+
+    def test_symmetric_two_zeros(self):
+        assert relative_change(0.0, 0.0, "symmetric") == 0.0
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            relative_change(1.0, 2.0, "sideways")
+
+
+class TestCompareScalars:
+    def test_union_sorted(self):
+        deltas = compare_scalars({"b": 1.0, "a": 2.0}, {"a": 2.0, "c": 3.0})
+        assert [d.name for d in deltas] == ["a", "b", "c"]
+
+    def test_explicit_key_order(self):
+        deltas = compare_scalars({"x": 1.0}, {"x": 2.0}, keys=["y", "x"])
+        assert [d.name for d in deltas] == ["y", "x"]
+
+    def test_absent_side_is_none(self):
+        (d,) = compare_scalars({"x": 1.0}, {})
+        assert d.baseline == 1.0 and d.current is None
+        assert d.structural
+
+
+class TestOverBudget:
+    def test_growth_only_fails_increases(self):
+        deltas = [Delta("up", 1.0, 1.2), Delta("down", 1.0, 0.5)]
+        failing = over_budget(deltas, budget=0.1, mode="growth")
+        assert [d.name for d in failing] == ["up"]
+
+    def test_symmetric_fails_both_directions(self):
+        deltas = [Delta("up", 1.0, 1.2), Delta("down", 1.0, 0.5)]
+        failing = over_budget(deltas, budget=0.1, mode="symmetric")
+        assert [d.name for d in failing] == ["up", "down"]
+
+    def test_structural_always_fails(self):
+        failing = over_budget([Delta("gone", 1.0, None)], budget=10.0)
+        assert len(failing) == 1
+
+    def test_abs_floor_suppresses_tiny_metrics(self):
+        deltas = [Delta("tiny", 1e-6, 5e-4), Delta("gone", 1e-9, None)]
+        assert over_budget(deltas, budget=0.05, abs_floor=1e-3) == []
+
+
+class TestFormatting:
+    def test_marks_failures(self):
+        deltas = [Delta("a", 1.0, 2.0), Delta("b", 1.0, 1.0)]
+        lines = format_deltas(deltas, [deltas[0]], mode="growth")
+        assert "OVER-BUDGET" in lines[0]
+        assert "OVER-BUDGET" not in lines[1]
+
+    def test_structural_wording(self):
+        (line,) = format_deltas([Delta("a", None, 2.0)], [])
+        assert "absent" in line and "structural" in line
+
+    def test_empty(self):
+        assert format_deltas([], []) == []
+
+
+class TestVerdict:
+    def test_ok(self):
+        code, text = budget_verdict([], 0.05, what="metric")
+        assert code == EXIT_OK
+        assert "within the 0.05 budget" in text
+
+    def test_regression_names_offenders(self):
+        code, text = budget_verdict([Delta("x.mean", 1.0, 2.0)], 0.05)
+        assert code == EXIT_REGRESSION
+        assert "x.mean" in text
+
+
+class TestBudgetFlag:
+    def _parser(self):
+        p = argparse.ArgumentParser()
+        add_budget_flag(p, 0.05, "budget")
+        return p
+
+    def test_default(self):
+        assert self._parser().parse_args([]).budget == 0.05
+
+    def test_budget_spelling(self):
+        assert self._parser().parse_args(["--budget", "0.2"]).budget == 0.2
+
+    def test_tolerance_alias(self):
+        args = self._parser().parse_args(["--tolerance", "0.3"])
+        assert args.budget == 0.3

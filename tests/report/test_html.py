@@ -1,0 +1,99 @@
+"""HTML report: self-contained, color-stable, escaped, dark-mode ready."""
+
+import re
+
+from repro.report.html import (
+    PALETTE,
+    esc,
+    hbar_chart,
+    render_html,
+    strategy_colors,
+)
+from tests.report.test_ledger import make_ledger
+
+
+def render(ledger=None):
+    return render_html(ledger or make_ledger())
+
+
+class TestStrategyColors:
+    def test_fixed_first_seen_slots(self):
+        colors = strategy_colors(["a", "b", "c"])
+        assert colors["a"] == PALETTE[0]
+        assert colors["b"] == PALETTE[1]
+        assert colors["c"] == PALETTE[2]
+
+    def test_filtering_does_not_repaint(self):
+        # color follows the entity: dropping "a" must not shift "b"
+        full = strategy_colors(["a", "b"])
+        assert strategy_colors(["b"])["b"] == PALETTE[0]  # fresh order...
+        assert full["b"] == PALETTE[1]  # ...but a stable list keeps slots
+
+    def test_past_palette_is_neutral_not_cycled(self):
+        names = [f"s{i}" for i in range(10)]
+        colors = strategy_colors(names)
+        assert colors["s9"] not in PALETTE
+        assert colors["s8"] == colors["s9"]  # both neutral gray
+
+
+class TestHbarChart:
+    ROWS = [{"label": "kr_veloc", "mean": 12.0, "ci_lo": 10.0,
+             "ci_hi": 14.0, "color": PALETTE[0], "n": 3}]
+
+    def test_contains_bar_whisker_and_label(self):
+        svg = hbar_chart("Overhead", "%", self.ROWS)
+        assert "<svg" in svg and "</svg>" in svg
+        assert "kr_veloc" in svg
+        assert "12.0" in svg  # direct value label
+        assert "<title>" in svg  # native tooltip
+
+    def test_empty_rows_render_nothing(self):
+        assert hbar_chart("Overhead", "%", []) == ""
+
+
+class TestRenderHtml:
+    def test_self_contained(self):
+        html = render()
+        # zero external assets: no http(s) fetches, no script tags
+        assert not re.search(r'(?:src|href)\s*=\s*"https?:', html)
+        assert "<script" not in html
+        assert "<style>" in html
+
+    def test_has_dark_mode(self):
+        assert "prefers-color-scheme: dark" in render()
+
+    def test_scorecard_table_and_charts_present(self):
+        html = render()
+        assert "kr_veloc" in html
+        assert "<svg" in html
+        assert "<table" in html  # accessible tabular view
+
+    def test_embedded_exemplars(self):
+        ledger = make_ledger()
+        ledger.exemplars["kr_veloc"] = {
+            "timeline": "t=1.0 rank2 rank_killed",
+            "folded": "rank2;app_compute 123",
+        }
+        html = render(ledger)
+        assert "rank_killed" in html
+        assert "app_compute 123" in html
+
+    def test_flags_rendered(self):
+        ledger = make_ledger()
+        ledger.runs[1].violations = 3
+        assert "violation" in render(ledger)
+
+    def test_escapes_untrusted_text(self):
+        ledger = make_ledger()
+        ledger.runs[1].label = '<script>alert("x")</script>'
+        html = render(ledger)
+        assert "<script>" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_esc_quotes(self):
+        assert esc('a"b<c>') == "a&quot;b&lt;c&gt;"
+
+    def test_ci_bounds_in_document(self):
+        html = render()
+        # the scorecard table carries the bootstrap interval brackets
+        assert re.search(r"\[\d", html)

@@ -66,7 +66,7 @@ class TestDiffCommand:
         out = capsys.readouterr().out
         assert "counter:x" in out
         assert "absent -> 5" in out
-        assert "OUT-OF-TOLERANCE" in out
+        assert "OVER-BUDGET" in out
 
     def test_within_tolerance_passes(self, tmp_path, capsys):
         a, b = tmp_path / "a.json", tmp_path / "b.json"
@@ -74,15 +74,15 @@ class TestDiffCommand:
         self._write(b, {"x": 104.0})  # 3.8% relative to max(|a|,|b|)
         assert main(["diff", str(a), str(b), "--tolerance", "0.05"]) == 0
         out = capsys.readouterr().out
-        assert "OUT-OF-TOLERANCE" not in out
-        assert "all within tolerance" in out
+        assert "OVER-BUDGET" not in out
+        assert "all metrics within the 0.05 budget" in out
 
     def test_beyond_tolerance_fails(self, tmp_path, capsys):
         a, b = tmp_path / "a.json", tmp_path / "b.json"
         self._write(a, {"x": 100.0})
         self._write(b, {"x": 120.0})
         assert main(["diff", str(a), str(b), "--tolerance", "0.05"]) == 1
-        assert "OUT-OF-TOLERANCE" in capsys.readouterr().out
+        assert "OVER-BUDGET" in capsys.readouterr().out
 
     def test_absent_metric_always_out_of_tolerance(self, tmp_path, capsys):
         a, b = tmp_path / "a.json", tmp_path / "b.json"
