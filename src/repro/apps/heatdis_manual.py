@@ -36,6 +36,8 @@ def make_manual_heatdis_main(
     failure_plan: Any = None,
     results: Optional[Dict[int, Any]] = None,
     tracker: Any = None,
+    incremental: bool = True,
+    dedup: bool = True,
 ):
     """Build a hand-integrated resilient Heatdis main.
 
@@ -58,7 +60,10 @@ def make_manual_heatdis_main(
             client = None
         if client is None:
             client = VeloCClient(
-                ctx, cluster, service, VeloCConfig(mode=mode, ckpt_name="manual"),
+                ctx, cluster, service,
+                VeloCConfig(mode=mode, ckpt_name="manual",
+                            incremental=incremental,
+                            dedup=dedup and incremental),
                 comm=h,
             )
             # manual region registration: the chore KR automates

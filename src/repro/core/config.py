@@ -29,15 +29,32 @@ class KRConfig:
         recovery_scope: ``"all"`` restores every rank (full rollback);
             ``"recovered_only"`` restores only replacement ranks (the
             partial-rollback demonstration of Section V-A).
+        memoize_discovery: cache view discovery/classification per bound
+            region (keyed by the region callable's code object, invalidated
+            whenever any view registry changes), so steady-state
+            ``checkpoint()`` calls skip the closure walk entirely.  The
+            cache assumes a region's code object reaches the same
+            pre-existing views on every call -- the Kokkos Resilience
+            contract; disable for regions that data-dependently capture
+            different long-lived views from call to call.
+        veloc_incremental: copy-on-write incremental VeloC snapshots
+            (see :class:`repro.veloc.config.VeloCConfig.incremental`).
+        veloc_dedup: content-addressed chunk dedup on the VeloC node
+            server (requires ``veloc_incremental``).
     """
 
     backend: str = BACKEND_VELOC
     veloc_single_mode: bool = True
     filter: Filter = field(default=always)
     recovery_scope: str = SCOPE_ALL
+    memoize_discovery: bool = True
+    veloc_incremental: bool = True
+    veloc_dedup: bool = True
 
     def __post_init__(self) -> None:
         if self.backend not in (BACKEND_VELOC, BACKEND_STDFILE, BACKEND_FENIX_IMR):
             raise ConfigError(f"unknown KR backend {self.backend!r}")
         if self.recovery_scope not in (SCOPE_ALL, SCOPE_RECOVERED_ONLY):
             raise ConfigError(f"unknown recovery scope {self.recovery_scope!r}")
+        if self.veloc_dedup and not self.veloc_incremental:
+            raise ConfigError("veloc_dedup requires veloc_incremental")

@@ -33,7 +33,7 @@ from repro.core.config import (
 from repro.core.detect import discover_views
 from repro.fenix.imr import IMRStore
 from repro.fenix.roles import Role
-from repro.kokkos.registry import ViewCensus
+from repro.kokkos.registry import ViewCensus, registry_generation
 from repro.mpi.handle import CommHandle
 from repro.sim.cluster import Cluster
 from repro.sim.engine import Event
@@ -56,6 +56,11 @@ class Context:
         self._post_failure = False
         self._subscriptions: List[Any] = []
         self._bound_label: Optional[str] = None
+        # memoized discovery: region code object -> (registry generation,
+        # census).  Steady-state checkpoint() calls skip the closure walk
+        # whenever no registry changed since the census was taken.
+        self._census_cache: dict = {}
+        self.discoveries_memoized = 0
         #: census of the most recent checkpoint region (Figure-7 reporting)
         self.last_census: Optional[ViewCensus] = None
         self.checkpoints_taken = 0
@@ -70,6 +75,7 @@ class Context:
     def subscribe(self, obj: Any) -> None:
         """Add an extra discovery root (an app-state object holding views)."""
         self._subscriptions.append(obj)
+        self._census_cache.clear()
 
     # -- role / reset -----------------------------------------------------------
 
@@ -87,6 +93,7 @@ class Context:
         self._latest_cache = None
         self._recovery_pending = False
         self._post_failure = True
+        self._census_cache.clear()
         self.backend.reset(comm)
         tel = self.ctx.engine.telemetry
         if tel.enabled:
@@ -158,8 +165,7 @@ class Context:
                    label=label, iteration=int(iteration))
         with tel.span(f"rank{rank}", "kr.region",
                       label=label, iteration=int(iteration)):
-            views = discover_views(fn, extra=self._subscriptions or None)
-            census = self._classify(views)
+            census = self._discover(fn)
             self.last_census = census
             to_save = census.checkpointed
             if self._recovery_pending and iteration == self._recovery_version:
@@ -210,6 +216,40 @@ class Context:
             # charged under the caller's label (checkpoint fn / recovery)
             self.ctx.account.charge("compute", dt)
 
+    def _discover(self, fn: Callable[[], Any]) -> ViewCensus:
+        """Discover and classify the views reachable from ``fn``.
+
+        With ``memoize_discovery`` the census is cached per region code
+        object (one heatdis iteration closure compiles once, so every
+        iteration shares a key) and reused as long as no view registry
+        anywhere in the process has changed -- the common steady state,
+        where ``checkpoint()`` then skips the closure walk entirely.
+        """
+        if not self.config.memoize_discovery:
+            views = discover_views(fn, extra=self._subscriptions or None)
+            return self._classify(views)
+        # partials and bound methods memoize on the underlying function's
+        # code object; anything without one is freshly discovered each
+        # call (caching on the object itself would grow without bound)
+        code = getattr(fn, "__code__", None)
+        if code is None:
+            code = getattr(getattr(fn, "func", None), "__code__", None)
+        if code is None:
+            code = getattr(getattr(fn, "__func__", None), "__code__", None)
+        if code is None:
+            views = discover_views(fn, extra=self._subscriptions or None)
+            return self._classify(views)
+        key = code
+        gen = registry_generation()
+        cached = self._census_cache.get(key)
+        if cached is not None and cached[0] == gen:
+            self.discoveries_memoized += 1
+            return cached[1]
+        views = discover_views(fn, extra=self._subscriptions or None)
+        census = self._classify(views)
+        self._census_cache[key] = (gen, census)
+        return census
+
     def _classify(self, views: List[Any]) -> ViewCensus:
         """Census using each view's own registry for alias declarations."""
         census = ViewCensus()
@@ -244,6 +284,8 @@ def make_context(
         vconf = VeloCConfig(
             mode="single" if config.veloc_single_mode else "collective",
             ckpt_name=ckpt_name,
+            incremental=config.veloc_incremental,
+            dedup=config.veloc_dedup,
         )
         client = VeloCClient(comm.ctx, cluster, veloc_service, vconf, comm=comm)
         backend: Backend = VeloCBackend(client, comm)

@@ -23,6 +23,12 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.experiments.ablation_checkpoint import (
+    STRATEGY,
+    format_ablation,
+    run_checkpoint_ablation,
+    verify_restore_equivalence,
+)
 from repro.experiments.campaign import format_campaign, run_campaign
 from repro.experiments.complexity import analyze_complexity, format_complexity
 from repro.experiments.fig5_heatdis import (
@@ -101,8 +107,21 @@ def _campaign(args) -> None:
     print(format_campaign(study))
 
 
+def _ablation(args) -> None:
+    ranks = args.ranks or 4
+    print(format_ablation(run_checkpoint_ablation(
+        n_ranks=ranks, jobs=args.jobs, cache=args.cache,
+        progress=args.progress,
+    ), title=f"Checkpoint data-path ablation ({ranks} ranks, {STRATEGY})"))
+    outcome = verify_restore_equivalence(n_ranks=ranks)
+    print(f"restore equivalence: OK "
+          f"({outcome['compared']} rank grids bit-identical across "
+          f"incremental/full and failed/clean runs)")
+
+
 COMMANDS = {
     "fig5": _fig5,
+    "ablation": _ablation,
     "fig6": _fig6,
     "fig7": _fig7,
     "partial": _partial,

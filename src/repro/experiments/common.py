@@ -19,6 +19,8 @@ def paper_env(
     n_spares: int = 1,
     seed: int = 20220906,
     pfs_servers: int = 4,
+    veloc_incremental: bool = True,
+    veloc_dedup: bool = True,
 ) -> ExperimentEnv:
     """The reproduction's stand-in for the paper's test platform.
 
@@ -26,6 +28,8 @@ def paper_env(
     64-node runs).  Reduced-scale tests pass a proportionally smaller
     value so the node : PFS bandwidth ratio -- which the congestion
     effects depend on -- matches the full-scale configuration.
+    ``veloc_incremental`` / ``veloc_dedup`` select the checkpoint data
+    path (the ablation drivers turn them off for the full-copy arm).
     """
     spec = ClusterSpec(
         n_nodes=n_nodes,
@@ -55,4 +59,8 @@ def paper_env(
         app_noncomm_init=0.3,
         app_comm_init=0.5,
     )
-    return ExperimentEnv(cluster_spec=spec, costs=costs, n_spares=n_spares)
+    return ExperimentEnv(
+        cluster_spec=spec, costs=costs, n_spares=n_spares,
+        veloc_incremental=veloc_incremental,
+        veloc_dedup=veloc_dedup and veloc_incremental,
+    )

@@ -76,6 +76,11 @@ class ExperimentEnv:
     #: stage VeloC flushes through the burst buffer (requires a cluster
     #: spec with one)
     use_burst_buffer: bool = False
+    #: copy-on-write incremental VeloC snapshots (memcpy/flush cost
+    #: scales with the dirty fraction); False restores the full-copy path
+    veloc_incremental: bool = True
+    #: content-addressed chunk dedup on the VeloC node servers
+    veloc_dedup: bool = True
 
 
 @dataclass
@@ -101,6 +106,11 @@ class RunReport:
     violations: List[Any] = field(default_factory=list)
     #: exact per-rank time ledger (repro.profile) when profiling was on
     profile: Optional[Dict] = None
+    #: checkpoint data-path volume (modelled bytes summed over every
+    #: VeloC client and attempt): ``checkpoint_bytes`` (logical),
+    #: ``dirty_bytes`` (memcpy'd), ``novel_bytes`` (flushed after dedup),
+    #: plus the derived ``dirty_fraction`` and ``dedup_ratio``
+    data_path: Dict[str, float] = field(default_factory=dict)
 
     @property
     def accounted(self) -> float:
@@ -204,6 +214,7 @@ class JobRunner:
         )
         self.tracker = RecomputeTracker()
         self.totals: Dict[str, float] = {}
+        self.data_totals: Dict[str, float] = {}
         self.results: Dict[int, Any] = {}
         self.attempts = 0
         self.finish_time: Optional[float] = None
@@ -250,6 +261,7 @@ class JobRunner:
             ),
             violations=violations,
             profile=profile_dict,
+            data_path=self._data_path_summary(),
         )
 
     def _platform_counters(self) -> Dict[str, float]:
@@ -377,6 +389,22 @@ class JobRunner:
         for ctx in world.contexts.values():
             for bucket, value in ctx.account.buckets.items():
                 self.totals[bucket] = self.totals.get(bucket, 0.0) + value
+            for client in ctx.user.get("veloc.clients", ()):
+                for stat, value in client.stats.items():
+                    self.data_totals[stat] = (
+                        self.data_totals.get(stat, 0.0) + value
+                    )
+
+    def _data_path_summary(self) -> Dict[str, float]:
+        out = dict(self.data_totals)
+        total = out.get("checkpoint_bytes", 0.0)
+        dirty = out.get("dirty_bytes", 0.0)
+        novel = out.get("novel_bytes", 0.0)
+        if total > 0:
+            out["dirty_fraction"] = dirty / total
+        if dirty > 0:
+            out["dedup_ratio"] = 1.0 - novel / dirty
+        return out
 
     def _check_errors(self, world: World) -> None:
         """Post-failure MPI errors are expected; anything else is a bug."""
@@ -393,16 +421,22 @@ class JobRunner:
 # -- application-specific front doors ---------------------------------------------
 
 
-def _kr_factory(strategy: StrategySpec, cluster, service, imr, ckpt_interval):
+def _kr_factory(strategy: StrategySpec, cluster, service, imr, ckpt_interval,
+                env: Optional[ExperimentEnv] = None):
     """Build the make_kr callable for one attempt."""
+    incremental = env.veloc_incremental if env is not None else True
+    dedup = incremental and (env.veloc_dedup if env is not None else True)
     if strategy.checkpointing:
         config = KRConfig(
             backend=strategy.backend,
             filter=every_nth(ckpt_interval),
             recovery_scope=strategy.scope,
+            veloc_incremental=incremental,
+            veloc_dedup=dedup,
         )
     else:
-        config = KRConfig(backend="stdfile", filter=never)
+        config = KRConfig(backend="stdfile", filter=never,
+                          veloc_incremental=incremental, veloc_dedup=dedup)
 
     def make_kr(handle: CommHandle):
         return make_context(
@@ -432,7 +466,8 @@ def run_heatdis_job(
     def build_main(runner, world, imr, plan, results, tracker):
         if strategy.kr or not strategy.checkpointing:
             make_kr = _kr_factory(
-                strategy, runner.cluster, runner.service, imr, ckpt_interval
+                strategy, runner.cluster, runner.service, imr, ckpt_interval,
+                env=runner.env,
             )
             return make_heatdis_main(
                 cfg,
@@ -452,6 +487,8 @@ def run_heatdis_job(
             failure_plan=plan,
             results=results,
             tracker=tracker,
+            incremental=env.veloc_incremental,
+            dedup=env.veloc_dedup,
         )
 
     runner = JobRunner(env, strategy, n_ranks, plan, build_main, "heatdis",
@@ -485,7 +522,8 @@ def run_heatdis2d_job(
 
     def build_main(runner, world, imr, plan, results, tracker):
         make_kr = _kr_factory(
-            strategy, runner.cluster, runner.service, imr, ckpt_interval
+            strategy, runner.cluster, runner.service, imr, ckpt_interval,
+            env=runner.env,
         )
         return make_heatdis2d_main(
             cfg, make_kr, failure_plan=plan, results=results, tracker=tracker
@@ -520,7 +558,8 @@ def run_minimd_job(
 
     def build_main(runner, world, imr, plan, results, tracker):
         make_kr = _kr_factory(
-            strategy, runner.cluster, runner.service, imr, ckpt_interval
+            strategy, runner.cluster, runner.service, imr, ckpt_interval,
+            env=runner.env,
         )
         return make_minimd_main(
             cfg, make_kr, failure_plan=plan, results=results, tracker=tracker

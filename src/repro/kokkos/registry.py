@@ -22,6 +22,24 @@ from typing import Dict, Iterable, List, Optional, Set
 from repro.kokkos.view import View
 from repro.util.errors import ConfigError
 
+# Global registration-generation counter.  Bumped whenever *any* registry's
+# membership or alias set changes; cheap consumers (the KR context's
+# memoized view discovery) compare generations instead of re-walking
+# closures.  A single process hosts many per-rank registries, so one
+# process-wide counter is the conservative, always-correct invalidation
+# signal.
+_GENERATION = 0
+
+
+def registry_generation() -> int:
+    """Current process-wide registry generation (see module note above)."""
+    return _GENERATION
+
+
+def _bump_generation() -> None:
+    global _GENERATION
+    _GENERATION += 1
+
 
 @dataclass
 class ViewCensus:
@@ -59,12 +77,15 @@ class ViewRegistry:
 
     def register(self, view: View) -> None:
         self._views.append(view)
+        _bump_generation()
 
     def unregister(self, view: View) -> None:
         try:
             self._views.remove(view)
         except ValueError:
             pass
+        else:
+            _bump_generation()
 
     def __len__(self) -> int:
         return len(self._views)
@@ -87,6 +108,7 @@ class ViewRegistry:
         if alias_label == of_label:
             raise ConfigError("a view cannot alias itself")
         self._alias_labels.add(alias_label)
+        _bump_generation()
 
     def is_alias(self, view: View) -> bool:
         return view.label in self._alias_labels
@@ -117,3 +139,4 @@ class ViewRegistry:
     def clear(self) -> None:
         self._views.clear()
         self._alias_labels.clear()
+        _bump_generation()

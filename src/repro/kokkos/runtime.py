@@ -32,11 +32,14 @@ class KokkosRuntime:
         data: Optional[np.ndarray] = None,
         modeled_nbytes: Optional[float] = None,
         space: Optional[str] = None,
+        chunk_bytes: Optional[int] = None,
     ) -> View:
         """Create a registered view (``Kokkos::View`` analogue).
 
         ``space`` defaults to the runtime's execution space's memory
-        space, like Kokkos' default memory space.
+        space, like Kokkos' default memory space.  ``chunk_bytes``
+        overrides the dirty-tracking granularity (see
+        :data:`repro.kokkos.view.DEFAULT_CHUNK_BYTES`).
         """
         return View(
             label,
@@ -46,6 +49,7 @@ class KokkosRuntime:
             registry=self.registry,
             modeled_nbytes=modeled_nbytes,
             space=space if space is not None else self.space.memory_space,
+            chunk_bytes=chunk_bytes,
         )
 
     def declare_alias(self, alias_label: str, of_label: str) -> None:

@@ -113,6 +113,10 @@ class ProfileLedger:
     wall_time: Optional[float] = None
     dropped: int = 0
     dropped_window: Optional[Tuple[float, float]] = None
+    #: checkpoint data-path volume (modelled bytes from the VeloC
+    #: counters): logical vs memcpy'd vs flushed-after-dedup, with the
+    #: derived dirty_fraction / dedup_ratio; empty when no VeloC ran
+    data_path: Dict[str, float] = field(default_factory=dict)
 
     @property
     def complete(self) -> bool:
@@ -153,6 +157,7 @@ class ProfileLedger:
             ),
             "mean": self.mean(),
             "mean_makespan": self.mean_makespan(),
+            "data_path": dict(self.data_path),
             "ranks": {str(r): rl.to_dict()
                       for r, rl in sorted(self.ranks.items())},
         }
@@ -319,7 +324,30 @@ def build_ledger(
         wall_time=wall_time,
         dropped=dropped,
         dropped_window=tuple(window) if window else None,
+        data_path=_data_path_counters(telemetry),
     )
+
+
+def _data_path_counters(telemetry: Any) -> Dict[str, float]:
+    """Checkpoint data-path volume from the merged VeloC counters."""
+    try:
+        counters = telemetry.metrics_summary()["merged"]["counters"]
+    except Exception:
+        return {}
+    total = float(counters.get("veloc.checkpoint.bytes", 0.0))
+    dirty = float(counters.get("veloc.checkpoint.dirty_bytes", 0.0))
+    novel = float(counters.get("veloc.checkpoint.novel_bytes", 0.0))
+    if total <= 0:
+        return {}
+    out = {
+        "checkpoint_bytes": total,
+        "dirty_bytes": dirty,
+        "novel_bytes": novel,
+        "dirty_fraction": dirty / total,
+    }
+    if dirty > 0:
+        out["dedup_ratio"] = 1.0 - novel / dirty
+    return out
 
 
 def format_ledger(ledger: ProfileLedger, per_rank: bool = True) -> str:

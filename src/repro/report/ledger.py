@@ -23,6 +23,11 @@ the stream into:
                       protection; at equal protection, lower = a more
                       efficient checkpoint path)
   ``wall_time_s``     the raw distribution the rest derive from
+  ``dirty_fraction``  memcpy'd / logical checkpoint bytes (1.0 = every
+                      checkpoint was a full copy; the incremental data
+                      path pushes this down)
+  ``dedup_ratio``     1 - flushed / memcpy'd bytes (chunk dedup savings
+                      on the way to the PFS)
   ==================  ====================================================
 
 - anomaly flagging: within-group outliers (|z| > 3 on wall time) and,
@@ -54,6 +59,11 @@ TRACKED_METRICS: Dict[str, str] = {
     "recompute_frac": "up",
     "checkpoint_frac": "up",
     "wall_time_s": "up",
+    # checkpoint data path: a growing dirty fraction means the
+    # incremental path degrades toward full copies; a shrinking dedup
+    # ratio means more bytes reach the PFS per checkpoint
+    "dirty_fraction": "up",
+    "dedup_ratio": "down",
 }
 
 #: summary fields of each metric the diff gate compares
@@ -92,6 +102,9 @@ class RunRecord:
     #: iterations/steps the cell simulated (for host-cost normalization;
     #: 0 when the app config does not expose it)
     n_iters: int = 0
+    #: checkpoint data-path volume summary (RunReport.data_path; empty
+    #: for strategies that never touch VeloC)
+    data_path: Dict[str, float] = field(default_factory=dict)
 
     # -- derived metrics (ideal = the scale's failure-free baseline) ----
 
@@ -129,6 +142,7 @@ class RunRecord:
             "cached": self.cached,
             "host_seconds": self.host_seconds,
             "n_iters": self.n_iters,
+            "data_path": dict(self.data_path),
         }
 
     @classmethod
@@ -147,6 +161,7 @@ class RunRecord:
             cached=doc.get("cached", False),
             host_seconds=doc.get("host_seconds", 0.0),
             n_iters=doc.get("n_iters", 0),
+            data_path=dict(doc.get("data_path", {})),
         )
 
     @classmethod
@@ -169,6 +184,7 @@ class RunRecord:
             cached=result.cached,
             host_seconds=result.host_seconds,
             n_iters=n_iters,
+            data_path=dict(getattr(report, "data_path", {}) or {}),
         )
 
 
@@ -284,6 +300,7 @@ def build_scorecard(ledger: CampaignLedger) -> Dict[str, Any]:
     for strategy in ledger.strategies:
         runs = ledger.group(strategy)
         eff, over, rec_lat, rec_frac, ck_frac, walls = [], [], [], [], [], []
+        dirty_fracs, dedup_ratios = [], []
         for r in runs:
             ideal = ledger.ideal_for(r.n_ranks)
             eff.append(r.efficiency(ideal))
@@ -294,6 +311,10 @@ def build_scorecard(ledger: CampaignLedger) -> Dict[str, Any]:
             rec_frac.append(r.bucket_frac("recompute"))
             ck_frac.append(r.bucket_frac("checkpoint_function"))
             walls.append(r.wall_time)
+            if "dirty_fraction" in r.data_path:
+                dirty_fracs.append(r.data_path["dirty_fraction"])
+            if "dedup_ratio" in r.data_path:
+                dedup_ratios.append(r.data_path["dedup_ratio"])
         strategies[strategy] = {
             "n_runs": len(runs),
             "n_failed_runs": sum(1 for r in runs if r.failures > 0),
@@ -307,6 +328,8 @@ def build_scorecard(ledger: CampaignLedger) -> Dict[str, Any]:
                 "recompute_frac": stats.summarize(rec_frac),
                 "checkpoint_frac": stats.summarize(ck_frac),
                 "wall_time_s": stats.summarize(walls),
+                "dirty_fraction": stats.summarize(dirty_fracs),
+                "dedup_ratio": stats.summarize(dedup_ratios),
             },
         }
     return {
@@ -449,7 +472,8 @@ def format_scorecard(scorecard: Dict[str, Any]) -> str:
     lines = ["Resilience scorecard (mean [95% CI] over runs)"]
     header = (f"  {'strategy':<18} {'runs':>4} {'eff':>6}  "
               f"{'overhead%':>22}  {'recovery(s)':>22}  "
-              f"{'recompute%':>10}  {'ckpt%':>6}")
+              f"{'recompute%':>10}  {'ckpt%':>6}  "
+              f"{'dirty%':>6}  {'dedup%':>6}")
     lines.append(header)
     lines.append("  " + "-" * (len(header) - 2))
     for strategy, entry in scorecard.get("strategies", {}).items():
@@ -462,13 +486,20 @@ def format_scorecard(scorecard: Dict[str, Any]) -> str:
                     f"[{metric['ci_lo'] * scale:.2f}, "
                     f"{metric['ci_hi'] * scale:.2f}]")
 
+        def pct(metric: Dict[str, float]) -> str:
+            if metric.get("n", 0) == 0:
+                return "--"
+            return f"{metric['mean'] * 100:.1f}%"
+
         lines.append(
             f"  {strategy:<18} {entry['n_runs']:>4} "
             f"{m['efficiency']['mean']:>6.2f}  "
             f"{ci(m['overhead_pct']):>22}  "
             f"{ci(m['recovery_latency_s']):>22}  "
             f"{m['recompute_frac']['mean'] * 100:>9.2f}%  "
-            f"{m['checkpoint_frac']['mean'] * 100:>5.2f}%"
+            f"{m['checkpoint_frac']['mean'] * 100:>5.2f}%  "
+            f"{pct(m.get('dirty_fraction', {'n': 0})):>6}  "
+            f"{pct(m.get('dedup_ratio', {'n': 0})):>6}"
         )
     flags = scorecard.get("flags", [])
     if flags:

@@ -27,6 +27,7 @@ from repro.util.errors import ConfigError, ReproError
 from repro.util.timing import CHECKPOINT_FUNCTION, DATA_RECOVERY
 from repro.veloc.config import VeloCConfig
 from repro.veloc.server import VeloCService
+from repro.veloc.snapshot import ChunkedSnapshot, payload_array, snapshot_view
 
 
 class VeloCError(ReproError):
@@ -57,6 +58,19 @@ class VeloCClient:
         self.veloc_rank = comm.rank if comm is not None else ctx.rank
         self._protected: Dict[int, View] = {}
         self._flushes: Dict[int, Event] = {}
+        # cached sum of modelled protected bytes; invalidated by the
+        # registration calls, not recomputed per checkpoint
+        self._protected_nbytes: Optional[float] = None
+        # previous version's snapshot per region: the copy-on-write base
+        self._snapshots: Dict[int, ChunkedSnapshot] = {}
+        #: cumulative modelled data-path volume (harness-level reporting)
+        self.stats: Dict[str, float] = {
+            "checkpoints": 0.0,
+            "checkpoint_bytes": 0.0,
+            "dirty_bytes": 0.0,
+            "novel_bytes": 0.0,
+        }
+        ctx.user.setdefault("veloc.clients", []).append(self)
 
     # -- integration hooks ----------------------------------------------------
 
@@ -75,20 +89,30 @@ class VeloCClient:
         """Register a memory region for checkpointing."""
         if region_id in self._protected and self._protected[region_id] is not view:
             raise ConfigError(f"region id {region_id} already protects another view")
+        if region_id not in self._protected:
+            self._protected_nbytes = None
         self._protected[region_id] = view
 
     def mem_unprotect(self, region_id: int) -> None:
         self._protected.pop(region_id, None)
+        self._snapshots.pop(region_id, None)
+        self._protected_nbytes = None
 
     def clear_protected(self) -> None:
         self._protected.clear()
+        self._snapshots.clear()
+        self._protected_nbytes = None
 
     @property
     def protected_regions(self) -> Dict[int, View]:
         return dict(self._protected)
 
     def protected_nbytes(self) -> float:
-        return sum(v.modeled_nbytes for v in self._protected.values())
+        if self._protected_nbytes is None:
+            self._protected_nbytes = sum(
+                v.modeled_nbytes for v in self._protected.values()
+            )
+        return self._protected_nbytes
 
     # -- keys -----------------------------------------------------------------------
 
@@ -97,12 +121,55 @@ class VeloCClient:
 
     # -- checkpoint -------------------------------------------------------------------
 
+    def _build_snapshot(self) -> Tuple[Dict[int, Any], float, float]:
+        """Host-side snapshot of every protected region.
+
+        Returns ``(snapshot, dirty_bytes, novel_bytes)`` in modelled
+        bytes: ``dirty_bytes`` is what the synchronous memcpy moves (full
+        size under the legacy full-copy path), ``novel_bytes`` what the
+        background flush must persist after chunk dedup.
+        """
+        total = self.protected_nbytes()
+        if not self.config.incremental:
+            snapshot = {
+                rid: view.copy_data() for rid, view in self._protected.items()
+            }
+            return snapshot, total, total
+        dedup = self.config.dedup and self.config.flush_to_pfs
+        server = (
+            self.service.server_for(self.ctx.node) if dedup else None
+        )
+        snapshot: Dict[int, Any] = {}
+        dirty_bytes = 0.0
+        novel_bytes = 0.0
+        for rid, view in self._protected.items():
+            snap, fresh = snapshot_view(
+                view, prev=self._snapshots.get(rid), hash_chunks=dedup
+            )
+            n = max(1, snap.n_chunks)
+            dirty_frac = len(fresh) / n
+            if server is not None:
+                novel = server.register_chunks(
+                    snap.digests[i] for i in fresh
+                )
+                novel_frac = novel / n
+            else:
+                novel_frac = dirty_frac
+            dirty_bytes += view.modeled_nbytes * dirty_frac
+            novel_bytes += view.modeled_nbytes * novel_frac
+            view.clear_dirty()
+            snapshot[rid] = snap
+            self._snapshots[rid] = snap
+        return snapshot, dirty_bytes, novel_bytes
+
     def checkpoint(self, version: int) -> Generator[Event, Any, None]:
         """Write version ``version`` of all protected regions.
 
-        Synchronous cost: one memory copy of the modelled bytes into
-        node-local scratch.  The PFS flush is queued on the node server and
-        proceeds in the background.
+        Synchronous cost: one memory copy of the modelled *dirty* bytes
+        into node-local scratch (all bytes on the first version, after a
+        restore, or with ``incremental=False``).  The PFS flush of the
+        novel bytes is queued on the node server and proceeds in the
+        background.
         """
         if not self._protected:
             raise VeloCError("checkpoint with no protected regions")
@@ -110,27 +177,39 @@ class VeloCClient:
         tel = engine.telemetry
         t0 = engine.now
         total = self.protected_nbytes()
+        # the host-side copy happens before the modelled span opens: it is
+        # harness wall-clock, not simulated time, and must not sit between
+        # the span start and the memcpy timeout where profile attribution
+        # would count it against the checkpoint function twice
+        snapshot, dirty_bytes, novel_bytes = self._build_snapshot()
         with tel.span(f"veloc.rank{self.veloc_rank}", "veloc.checkpoint",
                       version=int(version), nbytes=total,
-                      wrank=self.ctx.rank):
-            snapshot = {
-                rid: view.copy_data() for rid, view in self._protected.items()
-            }
-            yield engine.timeout(self.ctx.node.memcpy_time(total))
+                      wrank=self.ctx.rank) as sp:
+            if sp is not None:
+                sp.fields["dirty_bytes"] = dirty_bytes
+                sp.fields["novel_bytes"] = novel_bytes
+                sp.fields["dirty_fraction"] = dirty_bytes / total if total else 0.0
+                sp.fields["incremental"] = self.config.incremental
+            yield engine.timeout(self.ctx.node.memcpy_time(dirty_bytes))
             key = self._key(version)
             self.ctx.node.scratch[key] = (snapshot, total)
             self._gc_scratch(version)
             if self.config.flush_to_pfs:
                 server = self.service.server_for(self.ctx.node)
                 self._flushes[int(version)] = server.submit(
-                    key, (snapshot, total), total
+                    key, (snapshot, total), novel_bytes, stored_nbytes=total
                 )
+        self.stats["checkpoints"] += 1
+        self.stats["checkpoint_bytes"] += total
+        self.stats["dirty_bytes"] += dirty_bytes
+        self.stats["novel_bytes"] += novel_bytes
         self.cluster.trace.emit(
             engine.now,
             f"veloc.rank{self.veloc_rank}",
             "checkpoint",
             version=int(version),
             nbytes=total,
+            dirty_bytes=dirty_bytes,
         )
         dt = engine.now - t0
         self.ctx.account.charge(CHECKPOINT_FUNCTION, dt)
@@ -138,8 +217,12 @@ class VeloCClient:
             rm = tel.rank_metrics(self.veloc_rank)
             rm.inc("veloc.checkpoint.count")
             rm.inc("veloc.checkpoint.bytes", total)
+            rm.inc("veloc.checkpoint.dirty_bytes", dirty_bytes)
+            rm.inc("veloc.checkpoint.novel_bytes", novel_bytes)
             rm.observe("veloc.checkpoint.latency", dt)
             rm.observe("veloc.checkpoint.nbytes", total)
+            rm.observe("veloc.checkpoint.dirty_fraction",
+                       dirty_bytes / total if total else 0.0)
 
     def _gc_scratch(self, latest_version: int) -> None:
         """Retain only the newest ``keep_versions`` scratch copies."""
@@ -251,14 +334,18 @@ class VeloCClient:
                 )
             if sp is not None:
                 sp.fields["tier"] = source
-            for rid, array in snapshot.items():
+            for rid, stored in snapshot.items():
                 view = self._protected.get(rid)
                 if view is None:
                     raise VeloCError(
                         f"rank {self.veloc_rank}: region {rid} in checkpoint "
                         "but not protected"
                     )
-                view.load_data(array)
+                # either format restores: plain ndarray (full-copy path)
+                # or ChunkedSnapshot (incremental path).  load_data marks
+                # the view fully dirty, so the next checkpoint after a
+                # restore is a full copy by construction.
+                view.load_data(payload_array(stored))
         self.cluster.trace.emit(
             engine.now,
             f"veloc.rank{self.veloc_rank}",

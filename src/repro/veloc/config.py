@@ -28,18 +28,31 @@ class VeloCConfig:
             deployment property of the :class:`~repro.veloc.server.VeloCService`.
         keep_versions: how many versions to retain per tier (older ones
             are garbage-collected after a successful flush).
+        incremental: copy-on-write incremental snapshots -- only chunks
+            the view reports dirty are copied (and charged) per version;
+            clean chunks are shared with the previous version.  ``False``
+            restores the original full-copy data path, byte- and
+            cost-identical to the pre-incremental implementation.
+        dedup: content-addressed chunk dedup on the node server -- chunks
+            whose blake2b digest is already resident (any rank, any
+            version) are not re-flushed to persistent storage.  Only
+            meaningful with ``incremental=True``.
     """
 
     mode: str = MODE_COLLECTIVE
     ckpt_name: str = "ckpt"
     flush_to_pfs: bool = True
     keep_versions: int = 2
+    incremental: bool = True
+    dedup: bool = True
 
     def __post_init__(self) -> None:
         if self.mode not in (MODE_COLLECTIVE, MODE_SINGLE):
             raise ConfigError(f"unknown VeloC mode {self.mode!r}")
         if self.keep_versions < 1:
             raise ConfigError("keep_versions must be >= 1")
+        if self.dedup and not self.incremental:
+            raise ConfigError("dedup requires incremental snapshots")
 
     @property
     def collective(self) -> bool:

@@ -22,12 +22,18 @@ from repro.sim.resources import Store
 
 @dataclass
 class FlushJob:
-    """One checkpoint version to persist for one rank."""
+    """One checkpoint version to persist for one rank.
+
+    ``nbytes`` is what the flush *moves* (novel bytes under the
+    incremental/dedup data path); ``stored_nbytes`` is the full logical
+    size of the version, which is what a later recovery has to read back.
+    """
 
     key: Tuple
     payload: Any
     nbytes: float
     done: Event
+    stored_nbytes: float = 0.0
 
 
 class VeloCServer:
@@ -52,14 +58,45 @@ class VeloCServer:
         self.queue: Store = Store(self.engine, name=f"veloc.srv{node.index}.q")
         self.jobs_done = 0
         self.bytes_flushed = 0.0
+        # content-addressed chunk index: digests of every chunk this node's
+        # server has already accepted for persistence (any rank, any
+        # version).  Chunks found here need no re-flush -- the dedup half
+        # of the incremental data path.
+        self._chunk_index: set = set()
+        self.chunks_seen = 0
+        self.chunks_deduped = 0
         self._proc = self.engine.process(
             self._run(), name=f"veloc.server{node.index}", daemon=True
         )
 
-    def submit(self, key: Tuple, payload: Any, nbytes: float) -> Event:
+    def register_chunks(self, digests) -> int:
+        """Register chunk content digests; returns how many were *novel*
+        (not yet resident in the content-addressed store).  Idempotent per
+        digest: re-offering a known chunk costs nothing."""
+        novel = 0
+        for digest in digests:
+            self.chunks_seen += 1
+            if digest in self._chunk_index:
+                self.chunks_deduped += 1
+            else:
+                self._chunk_index.add(digest)
+                novel += 1
+        return novel
+
+    def submit(
+        self,
+        key: Tuple,
+        payload: Any,
+        nbytes: float,
+        stored_nbytes: float = None,
+    ) -> Event:
         """Queue a flush; returns an event that succeeds when persisted."""
         done = self.engine.event(name=f"flush:{key}")
-        self.queue.put(FlushJob(key=key, payload=payload, nbytes=nbytes, done=done))
+        self.queue.put(FlushJob(
+            key=key, payload=payload, nbytes=nbytes, done=done,
+            stored_nbytes=float(nbytes if stored_nbytes is None
+                                else stored_nbytes),
+        ))
         tel = self.engine.telemetry
         if tel.enabled:
             src = f"veloc.server{self.node.index}"
@@ -87,6 +124,10 @@ class VeloCServer:
                     yield from target.write(
                         job.key, job.payload, job.nbytes, self.node
                     )
+                    if job.stored_nbytes != job.nbytes:
+                        # dedup moved fewer bytes than the version holds;
+                        # a recovery still reads the full logical size
+                        target._sizes[job.key] = float(job.stored_nbytes)
             finally:
                 self.node.active_flushes -= 1
             if self.use_burst_buffer:
@@ -135,7 +176,7 @@ class VeloCServer:
                         server.release_lock()
                     remaining -= piece
                 pfs._objects[job.key] = job.payload
-                pfs._sizes[job.key] = float(job.nbytes)
+                pfs._sizes[job.key] = float(job.stored_nbytes or job.nbytes)
                 pfs.bytes_written += float(job.nbytes)
             cluster.trace.emit(
                 cluster.engine.now,

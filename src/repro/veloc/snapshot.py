@@ -1,0 +1,127 @@
+"""Copy-on-write chunked snapshots for the incremental VeloC data path.
+
+A :class:`ChunkedSnapshot` is one protected region's checkpoint image,
+stored as a list of fixed-size flat chunks.  Building version *v+1* from
+version *v* copies only the chunks the view reports dirty; clean chunks
+are shared **by reference** with the previous snapshot's chunk objects, so
+steady-state host cost scales with the dirty fraction, not the region
+size (the ReStore-style incremental store).  Every snapshot is still
+self-contained -- :meth:`ChunkedSnapshot.materialize` reassembles the full
+array from whatever mix of fresh and shared chunks it holds -- so restore
+correctness never depends on which chunks were deduplicated or shared.
+
+Legacy full-copy snapshots remain plain ndarrays; :func:`payload_array`
+accepts both forms, which keeps old scratch/PFS payloads restorable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.kokkos.view import View
+
+
+class ChunkedSnapshot:
+    """An immutable chunked image of one view's contents."""
+
+    __slots__ = ("shape", "dtype", "chunk_elems", "chunks", "digests", "nbytes")
+
+    def __init__(
+        self,
+        shape,
+        dtype,
+        chunk_elems: int,
+        chunks: List[np.ndarray],
+        digests: Optional[List[Optional[bytes]]],
+        nbytes: float,
+    ) -> None:
+        self.shape = tuple(shape)
+        self.dtype = dtype
+        self.chunk_elems = int(chunk_elems)
+        self.chunks = chunks
+        self.digests = digests
+        #: real bytes of the full region (not just the fresh chunks)
+        self.nbytes = float(nbytes)
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.chunks)
+
+    def compatible_with(self, view: View) -> bool:
+        """Whether this snapshot can serve as the COW base for ``view``."""
+        return (
+            self.shape == view.shape
+            and self.dtype == view.dtype
+            and self.chunk_elems == view.chunk_elems
+        )
+
+    def materialize(self) -> np.ndarray:
+        """Reassemble the full array (always possible: chunk objects are
+        shared across versions, never elided)."""
+        flat = np.concatenate(self.chunks) if self.chunks else np.empty(
+            0, dtype=self.dtype
+        )
+        return flat.reshape(self.shape)
+
+
+def snapshot_view(
+    view: View,
+    prev: Optional[ChunkedSnapshot] = None,
+    hash_chunks: bool = False,
+) -> Tuple[ChunkedSnapshot, List[int]]:
+    """Snapshot ``view``, sharing clean chunks with ``prev`` when possible.
+
+    Chunks listed dirty by the view (or every chunk, when ``prev`` is
+    absent/incompatible or the view is conservative) are copied fresh;
+    the rest alias ``prev``'s chunk objects.  With ``hash_chunks`` each
+    chunk also carries its blake2b-128 content digest (clean chunks reuse
+    the previous digest) for the server's content-addressed store.
+
+    Returns ``(snapshot, fresh)`` where ``fresh`` lists the chunk indices
+    that were actually copied -- what the incremental memcpy cost model
+    charges for.
+    """
+    if not view.chunkable:
+        # non-chunk-addressable buffer: single full chunk, flattened copy
+        flat = view.copy_data().reshape(-1)
+        digests = None
+        if hash_chunks:
+            digests = [hashlib.blake2b(flat.tobytes(), digest_size=16).digest()]
+        snap = ChunkedSnapshot(
+            view.shape, view.dtype, max(1, flat.size), [flat],
+            digests, view.nbytes,
+        )
+        return snap, [0]
+    n = view.n_chunks
+    cow = prev is not None and prev.compatible_with(view) and prev.n_chunks == n
+    fresh = sorted(view.dirty_chunks()) if cow else list(range(n))
+    fresh_set = set(fresh)
+    chunks: List[np.ndarray] = []
+    digests: Optional[List[Optional[bytes]]] = [] if hash_chunks else None
+    for i in range(n):
+        if i in fresh_set:
+            chunks.append(view.chunk_array(i).copy())
+            if digests is not None:
+                digests.append(view.chunk_hash(i))
+        else:
+            chunks.append(prev.chunks[i])
+            if digests is not None:
+                digests.append(
+                    prev.digests[i]
+                    if prev.digests is not None
+                    else view.chunk_hash(i)
+                )
+    snap = ChunkedSnapshot(
+        view.shape, view.dtype, view.chunk_elems, chunks, digests, view.nbytes
+    )
+    return snap, fresh
+
+
+def payload_array(obj) -> np.ndarray:
+    """The full ndarray behind a stored region payload (either format)."""
+    if isinstance(obj, ChunkedSnapshot):
+        return obj.materialize()
+    return np.asarray(obj)

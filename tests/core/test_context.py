@@ -12,7 +12,8 @@ from repro.veloc import VeloCService
 from tests.fenix.conftest import fenix_cluster
 
 
-def run_kr(n_ranks, body, backend="veloc", filter=None, scope="all", n_spares=0):
+def run_kr(n_ranks, body, backend="veloc", filter=None, scope="all", n_spares=0,
+           **config_kwargs):
     """Run body(kr_ctx, handle, runtime) on each active rank under Fenix."""
     cluster = fenix_cluster(n_ranks)
     world = World(cluster, n_ranks)
@@ -23,6 +24,7 @@ def run_kr(n_ranks, body, backend="veloc", filter=None, scope="all", n_spares=0)
         backend=backend,
         filter=filter if filter is not None else every_nth(1, offset=-1),
         recovery_scope=scope,
+        **config_kwargs,
     )
     results = {}
 

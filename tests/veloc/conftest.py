@@ -25,14 +25,15 @@ def veloc_cluster(n_nodes=2, pfs_bw=1e8, n_servers=1):
     )
 
 
-def run_veloc_ranks(n_ranks, body, mode="single", n_nodes=None, **cluster_kwargs):
+def run_veloc_ranks(n_ranks, body, mode="single", n_nodes=None, config=None,
+                    **cluster_kwargs):
     """Run body(client, handle, runtime) on each rank; returns results."""
     n_nodes = n_nodes or n_ranks
     cluster = veloc_cluster(n_nodes=n_nodes, **cluster_kwargs)
     rpn = max(1, -(-n_ranks // n_nodes))
     world = World(cluster, n_ranks, ranks_per_node=rpn)
     service = VeloCService(cluster)
-    config = VeloCConfig(mode=mode)
+    config = config or VeloCConfig(mode=mode)
     results = {}
 
     def main(rank):

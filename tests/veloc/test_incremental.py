@@ -1,0 +1,279 @@
+"""Incremental, content-addressed checkpoint data path.
+
+Three layers under test: copy-on-write :class:`ChunkedSnapshot` building
+(only dirty chunks copied, clean chunks shared by reference), the node
+server's content-addressed chunk index (novel-chunk accounting and PFS
+flush sizing), and the client end to end -- with bit-for-bit restore
+equivalence between ``incremental=True`` and ``incremental=False`` as
+the correctness bar.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kokkos import KokkosRuntime
+from repro.util.errors import ConfigError
+from repro.veloc import VeloCConfig
+from repro.veloc.snapshot import ChunkedSnapshot, payload_array, snapshot_view
+from tests.veloc.conftest import run_veloc_ranks
+
+
+@pytest.fixture
+def rt():
+    return KokkosRuntime()
+
+
+def small_view(rt, label="v"):
+    # 64x16 float64, 512-byte chunks -> 16 chunks of 4 rows
+    return rt.view(label, shape=(64, 16), chunk_bytes=512)
+
+
+class TestSnapshotView:
+    def test_first_snapshot_copies_everything(self, rt):
+        v = small_view(rt)
+        v.fill(1.0)
+        snap, fresh = snapshot_view(v)
+        assert fresh == list(range(16))
+        assert np.array_equal(snap.materialize(), v.copy_data())
+
+    def test_cow_copies_only_dirty_chunks(self, rt):
+        v = small_view(rt)
+        prev, _ = snapshot_view(v)
+        v.clear_dirty()
+        v[5] = 2.0  # chunk 1
+        snap, fresh = snapshot_view(v, prev=prev)
+        assert fresh == [1]
+        # clean chunks alias the previous snapshot's objects
+        assert all(
+            snap.chunks[i] is prev.chunks[i] for i in range(16) if i != 1
+        )
+        assert snap.chunks[1] is not prev.chunks[1]
+        assert np.array_equal(snap.materialize(), v.copy_data())
+
+    def test_cow_base_is_immutable_under_later_writes(self, rt):
+        v = small_view(rt)
+        v.fill(1.0)
+        snap, _ = snapshot_view(v)
+        v.clear_dirty()
+        v[0] = 9.0
+        # the snapshot still materializes the pre-write contents
+        assert np.all(snap.materialize() == 1.0)
+
+    def test_incompatible_prev_forces_full_copy(self, rt):
+        v = small_view(rt)
+        other = rt.view("other", shape=(8, 16), chunk_bytes=512)
+        prev, _ = snapshot_view(other)
+        v.clear_dirty()
+        snap, fresh = snapshot_view(v, prev=prev)
+        assert fresh == list(range(16))
+
+    def test_digests_reused_for_clean_chunks(self, rt):
+        v = small_view(rt)
+        prev, _ = snapshot_view(v, hash_chunks=True)
+        v.clear_dirty()
+        v[0] = 4.0
+        snap, fresh = snapshot_view(v, prev=prev, hash_chunks=True)
+        assert fresh == [0]
+        assert snap.digests[0] != prev.digests[0]
+        assert all(snap.digests[i] is prev.digests[i] for i in range(1, 16))
+
+    def test_non_chunkable_single_chunk(self):
+        from repro.kokkos.view import View
+
+        base = np.arange(64.0).reshape(8, 8)
+        v = View("nc", data=base[:, ::2])  # not C-contiguous
+        snap, fresh = snapshot_view(v, hash_chunks=True)
+        assert fresh == [0]
+        assert snap.n_chunks == 1
+        assert np.array_equal(snap.materialize(), base[:, ::2])
+
+    def test_payload_array_accepts_both_formats(self, rt):
+        v = small_view(rt)
+        v.fill(3.0)
+        snap, _ = snapshot_view(v)
+        assert isinstance(snap, ChunkedSnapshot)
+        assert np.array_equal(payload_array(snap), v.copy_data())
+        assert np.array_equal(payload_array(v.copy_data()), v.copy_data())
+
+
+class TestConfig:
+    def test_dedup_requires_incremental(self):
+        with pytest.raises(ConfigError):
+            VeloCConfig(incremental=False, dedup=True)
+
+    def test_full_copy_arm(self):
+        cfg = VeloCConfig(incremental=False, dedup=False)
+        assert not cfg.incremental
+
+
+class TestClientIncremental:
+    def test_steady_state_dirty_bytes_scale_with_writes(self):
+        def body(client, h, rt):
+            v = rt.view("x", shape=(64, 16), chunk_bytes=512,
+                        modeled_nbytes=1.6e6)
+            client.mem_protect(0, v)
+            yield from client.checkpoint(0)  # full by construction
+            v[5] = 1.0  # one of 16 chunks
+            yield from client.checkpoint(1)
+            return dict(client.stats)
+
+        results, _ = run_veloc_ranks(1, body)
+        stats = results[0]
+        assert stats["checkpoint_bytes"] == pytest.approx(3.2e6)
+        # full first version + 1/16 of the second
+        assert stats["dirty_bytes"] == pytest.approx(1.6e6 * (1 + 1 / 16))
+
+    def test_incremental_checkpoint_is_cheaper(self):
+        def run(incremental):
+            def body(client, h, rt):
+                v = rt.view("x", shape=(64, 16), chunk_bytes=512,
+                            modeled_nbytes=1e9)
+                client.mem_protect(0, v)
+                yield from client.checkpoint(0)
+                t0 = h.ctx.engine.now
+                v[5] = 1.0
+                yield from client.checkpoint(1)
+                return h.ctx.engine.now - t0
+
+            cfg = VeloCConfig(mode="single", incremental=incremental,
+                              dedup=incremental)
+            results, _ = run_veloc_ranks(1, body, config=cfg)
+            return results[0]
+
+        assert run(True) < 0.25 * run(False)
+
+    def test_restore_bit_identical_to_full_copy(self):
+        rng_seed = 1234
+
+        def run(incremental):
+            def body(client, h, rt):
+                rng = np.random.default_rng(rng_seed)
+                v = rt.view("x", shape=(64, 16), chunk_bytes=512)
+                v.load_data(rng.standard_normal((64, 16)))
+                client.mem_protect(0, v)
+                yield from client.checkpoint(0)
+                for version in range(1, 4):
+                    # partial tracked updates between checkpoints
+                    v[version * 3] = rng.standard_normal(16)
+                    v[40:48] = rng.standard_normal((8, 16))
+                    yield from client.checkpoint(version)
+                v.fill(np.nan)  # "lose" the data
+                yield from client.recover(3)
+                return v.copy_data()
+
+            cfg = VeloCConfig(mode="single", incremental=incremental,
+                              dedup=incremental)
+            results, _ = run_veloc_ranks(1, body, config=cfg)
+            return results[0]
+
+        full, incr = run(False), run(True)
+        assert full.tobytes() == incr.tobytes()  # bit-for-bit
+
+    def test_restore_marks_view_dirty_again(self):
+        def body(client, h, rt):
+            v = rt.view("x", shape=(64, 16), chunk_bytes=512)
+            client.mem_protect(0, v)
+            yield from client.checkpoint(0)
+            assert v.dirty_fraction == 0.0
+            yield from client.recover(0)
+            # post-restore the next checkpoint must be a full copy
+            assert v.dirty_fraction == 1.0
+            yield from client.checkpoint(1)
+            return dict(client.stats)
+
+        results, _ = run_veloc_ranks(1, body)
+        stats = results[0]
+        assert stats["dirty_bytes"] == pytest.approx(
+            stats["checkpoint_bytes"])
+
+    def test_recover_intermediate_version_exact(self):
+        # version v's image must reflect exactly the first v+1 rounds of
+        # updates even though later snapshots shared most of its chunks
+        def body(client, h, rt):
+            v = rt.view("x", shape=(64, 16), chunk_bytes=512)
+            client.mem_protect(0, v)
+            expected = None
+            for version in range(3):
+                v[version * 4] = float(version + 1)
+                if version == 1:
+                    expected = v.copy_data()
+                yield from client.checkpoint(version)
+            yield from client.recover(1)
+            return v.copy_data(), expected
+
+        results, _ = run_veloc_ranks(1, body)
+        got, expected = results[0]
+        assert np.array_equal(got, expected)
+
+
+class TestServerDedup:
+    def test_register_chunks_counts_novel_once(self):
+        def body(client, h, rt):
+            server = client.service.server_for(client.ctx.node)
+            novel1 = server.register_chunks([b"a", b"b", b"a"])
+            novel2 = server.register_chunks([b"a", b"c"])
+            return (novel1, novel2, server.chunks_seen,
+                    server.chunks_deduped)
+            yield  # pragma: no cover
+
+        results, _ = run_veloc_ranks(1, body)
+        novel1, novel2, seen, deduped = results[0]
+        assert novel1 == 2  # "a" counted once within the batch
+        assert novel2 == 1  # "a" already indexed
+        assert seen == 5
+        assert deduped == 2
+
+    def test_identical_content_across_versions_flushes_nothing_new(self):
+        def body(client, h, rt):
+            # distinct per-chunk content, so version 0 is fully novel
+            content = np.arange(1024.0).reshape(64, 16)
+            v = rt.view("x", shape=(64, 16), chunk_bytes=512,
+                        modeled_nbytes=1e6)
+            v.load_data(content)
+            client.mem_protect(0, v)
+            yield from client.checkpoint(0)
+            # rewrite identical content: dirty but not novel
+            v.load_data(content)
+            yield from client.checkpoint(1)
+            return dict(client.stats)
+
+        results, _ = run_veloc_ranks(1, body)
+        stats = results[0]
+        assert stats["dirty_bytes"] == pytest.approx(2e6)
+        assert stats["novel_bytes"] == pytest.approx(1e6)
+
+    def test_uniform_content_dedups_within_a_version(self):
+        def body(client, h, rt):
+            v = rt.view("x", shape=(64, 16), chunk_bytes=512,
+                        modeled_nbytes=1.6e6)
+            v.fill(2.0)  # all 16 chunks byte-identical
+            client.mem_protect(0, v)
+            yield from client.checkpoint(0)
+            return dict(client.stats)
+
+        results, _ = run_veloc_ranks(1, body)
+        stats = results[0]
+        assert stats["dirty_bytes"] == pytest.approx(1.6e6)
+        # one novel chunk out of 16: the store keeps a single copy
+        assert stats["novel_bytes"] == pytest.approx(1.6e6 / 16)
+
+    def test_pfs_read_cost_unchanged_by_dedup(self):
+        # dedup shrinks the flush, never the modelled recover read
+        def body(client, h, rt):
+            v = rt.view("x", shape=(64, 16), chunk_bytes=512,
+                        modeled_nbytes=1e8)
+            v.fill(2.0)
+            client.mem_protect(0, v)
+            yield from client.checkpoint(0)
+            v.fill(2.0)  # dirty, fully deduped
+            yield from client.checkpoint(1)
+            yield from client.wait_flushes()
+            client.ctx.node.wipe()
+            t0 = h.ctx.engine.now
+            yield from client.recover(1)
+            return h.ctx.engine.now - t0
+
+        results, _ = run_veloc_ranks(1, body, pfs_bw=1e8)
+        # reading version 1 from the PFS must charge the full logical
+        # size (~1s at 1e8 B/s), not the ~0 novel bytes it flushed
+        assert results[0] > 0.5
