@@ -37,11 +37,15 @@ def main(argv=None) -> int:
     base = load_means(args.baseline)
     new = load_means(args.new)
     failures = []
+    unanchored = []
+    missing = []
     for name in sorted(set(base) | set(new)):
         if name not in base:
+            unanchored.append(name)
             print(f"  NEW      {name}: {new[name] * 1e3:.2f} ms (no baseline)")
             continue
         if name not in new:
+            missing.append(name)
             print(f"  MISSING  {name}: present only in baseline")
             continue
         ratio = new[name] / base[name]
@@ -53,6 +57,18 @@ def main(argv=None) -> int:
             f"  {status:<9}{name}: {base[name] * 1e3:.2f} ms -> "
             f"{new[name] * 1e3:.2f} ms ({ratio:.1%} of baseline)"
         )
+    # benchmarks without a baseline anchor pass by construction -- say so
+    # explicitly instead of letting them blend into the gated rows
+    if unanchored:
+        print(f"\n{len(unanchored)} benchmark(s) new, unanchored -- not "
+              "gated until the committed baseline is refreshed:")
+        for name in unanchored:
+            print(f"  {name}: {new[name] * 1e3:.2f} ms")
+    if missing:
+        print(f"\n{len(missing)} baseline benchmark(s) missing from this "
+              "run (renamed or removed? refresh the baseline):")
+        for name in missing:
+            print(f"  {name}")
     if failures:
         print(
             f"\nFAIL: {len(failures)} benchmark(s) regressed beyond the "
@@ -62,7 +78,9 @@ def main(argv=None) -> int:
             print(f"  {name}: {delta:+.1%} mean time "
                   f"(budget {args.max_regression:+.0%})")
         return 1
-    print("\nno benchmark regressed beyond the threshold")
+    gated = len(set(base) & set(new))
+    print(f"\nno regression beyond the threshold ({gated} gated, "
+          f"{len(unanchored)} unanchored, {len(missing)} missing)")
     return 0
 
 

@@ -103,8 +103,15 @@ def _campaign(args) -> None:
         cache=args.cache,
         trace_max_records=args.max_records,
         progress=args.progress,
+        rules=args.rules,
     )
     print(format_campaign(study))
+    if args.rules:
+        fired = sum(len(r.report.alerts) for r in study.results)
+        print(f"\nSLO rules ({args.rules}): {fired} alert(s) fired")
+        for r in study.results:
+            for alert in r.report.alerts:
+                print(f"  [{r.strategy}] {alert.render()}")
 
 
 def _ablation(args) -> None:
@@ -158,6 +165,10 @@ def main(argv=None) -> int:
                         help="stream per-cell progress events (JSON lines) "
                              "to PATH; a TTY status line is shown on "
                              "stderr automatically when it is a terminal")
+    parser.add_argument("--rules", default=None, metavar="PATH",
+                        help="SLO rules file (repro.live) evaluated live "
+                             "inside each campaign cell; fired alerts are "
+                             "printed and land in the reports")
     args = parser.parse_args(argv)
     # one cache and one progress stream for the whole invocation, so the
     # final tally covers every figure that ran

@@ -32,6 +32,7 @@ from repro.parallel import (
     RunCache,
     run_cells,
 )
+from repro.telemetry.sampling import SamplingPolicy
 
 CKPT_INTERVAL = 9
 
@@ -87,6 +88,8 @@ def run_campaign(
     telemetry: bool = False,
     trace_max_records: Optional[int] = DEFAULT_TRACE_MAX_RECORDS,
     progress: Optional[CampaignProgress] = None,
+    rules: Optional[str] = None,
+    sampling: Optional["SamplingPolicy"] = None,
 ) -> CampaignStudy:
     """Run the campaign; by default the MTBF is chosen so a handful of
     failures strike during the job.
@@ -113,6 +116,8 @@ def run_campaign(
             plan=plan,
             telemetry=telemetry,
             trace_max_records=trace_max_records,
+            sampling=sampling,
+            rules=rules,
             label=strategy,
         )
 
@@ -157,6 +162,8 @@ def run_campaign_grid(
     cache: Optional[RunCache] = None,
     progress: Optional[CampaignProgress] = None,
     trace_max_records: Optional[int] = DEFAULT_TRACE_MAX_RECORDS,
+    rules: Optional[str] = None,
+    sampling: Optional["SamplingPolicy"] = None,
 ):
     """The cross-run campaign: (strategy x scale x seed) under random
     failures, folded into a :class:`~repro.report.CampaignLedger`.
@@ -190,6 +197,8 @@ def run_campaign_grid(
                           pfs_servers=1),
             plan=plan,
             trace_max_records=trace_max_records,
+            sampling=sampling,
+            rules=rules,
             label=label,
         )
 

@@ -28,6 +28,12 @@ from repro.fenix import FenixSystem, IMRStore
 from repro.fenix.roles import Role
 from repro.harness.recompute import RecomputeTracker
 from repro.harness.strategies import STRATEGIES, StrategySpec
+from repro.live.rules import (
+    LiveSession,
+    RuleSet,
+    SLOViolationError,
+    load_rules,
+)
 from repro.monitor import InvariantViolationError, MonitorSuite
 from repro.mpi import World
 from repro.mpi.errors import MPIError
@@ -46,6 +52,14 @@ def strict_monitor_default() -> bool:
     env var is inherited by parallel sweep workers)."""
     return os.environ.get(
         "REPRO_STRICT_MONITOR", ""
+    ).strip().lower() in ("1", "true", "yes", "on")
+
+
+def strict_slo_default() -> bool:
+    """CI hook mirroring :func:`strict_monitor_default`:
+    ``REPRO_STRICT_SLO=1`` makes any fired SLO alert fail the job."""
+    return os.environ.get(
+        "REPRO_STRICT_SLO", ""
     ).strip().lower() in ("1", "true", "yes", "on")
 
 
@@ -111,6 +125,12 @@ class RunReport:
     #: ``dirty_bytes`` (memcpy'd), ``novel_bytes`` (flushed after dedup),
     #: plus the derived ``dirty_fraction`` and ``dedup_ratio``
     data_path: Dict[str, float] = field(default_factory=dict)
+    #: SLO alerts fired by the live rules engine (repro.live), when the
+    #: run carried a rules file; empty otherwise
+    alerts: List[Any] = field(default_factory=list)
+    #: non-fatal observability problems surfaced to the caller (e.g. a
+    #: trace listener that raised and was isolated)
+    warnings: List[str] = field(default_factory=list)
 
     @property
     def accounted(self) -> float:
@@ -167,6 +187,9 @@ class JobRunner:
         strict_monitor: Optional[bool] = None,
         monitor: Optional[MonitorSuite] = None,
         profile: bool = False,
+        rules: "Optional[RuleSet | str]" = None,
+        strict_slo: Optional[bool] = None,
+        trace_sink: Optional[Any] = None,
     ) -> None:
         self.env = env
         self.strategy = strategy
@@ -198,9 +221,17 @@ class JobRunner:
         self.monitor = monitor
         if self.monitor is None and self.strict_monitor:
             self.monitor = MonitorSuite()
-        trace = Trace(enabled=True, max_records=trace_max_records) if (
+        self.rules = load_rules(rules) if isinstance(rules, str) else rules
+        self.strict_slo = (
+            strict_slo_default() if strict_slo is None else strict_slo
+        )
+        trace = Trace(
+            enabled=True, max_records=trace_max_records,
+            sampler=telemetry.sampler if telemetry is not None else None,
+        ) if (
             (telemetry is not None and telemetry.enabled)
             or self.monitor is not None
+            or self.rules is not None
         ) else None
         self.trace = trace
         self.cluster = Cluster(env.cluster_spec, trace=trace,
@@ -209,6 +240,17 @@ class JobRunner:
             telemetry.trace = trace
         if self.monitor is not None and trace is not None:
             self.monitor.attach(trace)
+        # the live layer: windowed series + SLO rules evaluated in-run,
+        # attached after the monitor so invariant_violations rules see
+        # the suite's findings the moment they exist
+        self.live: Optional[LiveSession] = None
+        if trace is not None and self.rules is not None:
+            self.live = LiveSession(rules=self.rules, monitor=self.monitor)
+            self.live.attach(trace)
+        # streaming flight recorder (e.g. monitor.trace_io.JsonlTraceSink):
+        # records hit disk as they are emitted; the caller closes it
+        if trace_sink is not None and trace is not None:
+            trace_sink.attach(trace)
         self.service = VeloCService(
             self.cluster, use_burst_buffer=env.use_burst_buffer
         )
@@ -236,6 +278,18 @@ class JobRunner:
             violations = self.monitor.violations
             if self.strict_monitor and violations:
                 raise InvariantViolationError(violations)
+        alerts: List[Any] = []
+        if self.live is not None:
+            alerts = self.live.finish(t=wall)
+            if self.strict_slo and alerts:
+                raise SLOViolationError(alerts)
+        warnings: List[str] = []
+        if self.trace is not None and self.trace.listener_errors:
+            warnings.append(
+                f"{self.trace.listener_errors} trace listener exception(s) "
+                f"isolated (observers never alter the run); last: "
+                f"{self.trace.last_listener_error}"
+            )
         profile_dict = None
         if self.profile:
             # local import: repro.profile consumes telemetry, the runner
@@ -262,6 +316,8 @@ class JobRunner:
             violations=violations,
             profile=profile_dict,
             data_path=self._data_path_summary(),
+            alerts=alerts,
+            warnings=warnings,
         )
 
     def _platform_counters(self) -> Dict[str, float]:
@@ -458,6 +514,9 @@ def run_heatdis_job(
     strict_monitor: Optional[bool] = None,
     monitor: Optional[MonitorSuite] = None,
     profile: bool = False,
+    rules: "Optional[RuleSet | str]" = None,
+    strict_slo: Optional[bool] = None,
+    trace_sink: Optional[Any] = None,
 ) -> RunReport:
     """Run one Heatdis job under a strategy; returns the report."""
     strategy = STRATEGIES[strategy_name]
@@ -495,7 +554,8 @@ def run_heatdis_job(
                        telemetry=telemetry,
                        trace_max_records=trace_max_records,
                        strict_monitor=strict_monitor, monitor=monitor,
-                       profile=profile)
+                       profile=profile, rules=rules, strict_slo=strict_slo,
+                       trace_sink=trace_sink)
     return runner.run()
 
 
@@ -511,6 +571,9 @@ def run_heatdis2d_job(
     strict_monitor: Optional[bool] = None,
     monitor: Optional[MonitorSuite] = None,
     profile: bool = False,
+    rules: "Optional[RuleSet | str]" = None,
+    strict_slo: Optional[bool] = None,
+    trace_sink: Optional[Any] = None,
 ) -> RunReport:
     """Run one 2-D-decomposed Heatdis job under a strategy."""
     strategy = STRATEGIES[strategy_name]
@@ -533,7 +596,8 @@ def run_heatdis2d_job(
                        telemetry=telemetry,
                        trace_max_records=trace_max_records,
                        strict_monitor=strict_monitor, monitor=monitor,
-                       profile=profile)
+                       profile=profile, rules=rules, strict_slo=strict_slo,
+                       trace_sink=trace_sink)
     return runner.run()
 
 
@@ -549,6 +613,9 @@ def run_minimd_job(
     strict_monitor: Optional[bool] = None,
     monitor: Optional[MonitorSuite] = None,
     profile: bool = False,
+    rules: "Optional[RuleSet | str]" = None,
+    strict_slo: Optional[bool] = None,
+    trace_sink: Optional[Any] = None,
 ) -> RunReport:
     """Run one MiniMD job under a strategy; returns the report."""
     strategy = STRATEGIES[strategy_name]
@@ -569,5 +636,6 @@ def run_minimd_job(
                        telemetry=telemetry,
                        trace_max_records=trace_max_records,
                        strict_monitor=strict_monitor, monitor=monitor,
-                       profile=profile)
+                       profile=profile, rules=rules, strict_slo=strict_slo,
+                       trace_sink=trace_sink)
     return runner.run()

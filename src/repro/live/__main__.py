@@ -1,0 +1,300 @@
+"""Live observability CLI.
+
+Usage (repository root, ``PYTHONPATH=src``)::
+
+    # live dashboard over a campaign progress stream or a streaming
+    # flight-recorder trace, as the file is written
+    python -m repro.live tail campaign.progress.jsonl
+    python -m repro.live tail run.trace.jsonl --rules examples/slo_rules.json
+
+    # single frame (CI artifact): render what is there now and exit
+    python -m repro.live tail campaign.progress.jsonl --once --out frame.txt
+
+    # evaluate an SLO rules file against a recorded trace
+    python -m repro.live check run.trace.jsonl --rules examples/slo_rules.json
+
+    # OpenMetrics snapshot from a trace file or a metrics.json snapshot
+    python -m repro.live export run.trace.jsonl --out metrics.prom
+
+Exit codes follow :mod:`repro.report.compare`: 0 clean, 1 SLO alerts
+fired (``check``), 2 usage/load errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, Optional
+
+from repro.live.dashboard import (
+    CampaignView,
+    render_campaign_frame,
+    render_trace_frame,
+)
+from repro.live.openmetrics import (
+    from_aggregator,
+    from_metrics_snapshot,
+    parse_openmetrics,
+    render_openmetrics,
+)
+from repro.live.rules import LiveSession, RuleSet, load_rules
+from repro.report.compare import EXIT_BAD_INPUT, EXIT_OK, EXIT_REGRESSION
+from repro.sim.trace import TraceRecord
+from repro.util.errors import ReproError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.live",
+        description="Live dashboards, SLO checks, and OpenMetrics exports "
+                    "over trace and progress streams.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    tail = sub.add_parser(
+        "tail", help="live dashboard over a progress or trace JSONL file")
+    tail.add_argument("path", help="campaign progress JSONL or "
+                                   "flight-recorder trace JSONL")
+    tail.add_argument("--rules", default=None,
+                      help="SLO rules file (trace mode)")
+    tail.add_argument("--window", type=float, default=1.0,
+                      help="aggregation window, simulated seconds")
+    tail.add_argument("--interval", type=float, default=0.5,
+                      help="host seconds between polls")
+    tail.add_argument("--timeout", type=float, default=60.0,
+                      help="exit after this many host seconds without "
+                           "new data (0 = wait forever)")
+    tail.add_argument("--once", action="store_true",
+                      help="render one frame from current content and exit")
+    tail.add_argument("--out", default=None,
+                      help="also write the final frame to this file")
+    tail.add_argument("--width", type=int, default=78)
+
+    check = sub.add_parser(
+        "check", help="evaluate SLO rules against a recorded trace")
+    check.add_argument("trace", help="flight-recorder trace JSONL")
+    check.add_argument("--rules", required=True, help="SLO rules file")
+    check.add_argument("--window", type=float, default=1.0)
+    check.add_argument("--json", action="store_true",
+                       help="machine-readable result on stdout")
+
+    export = sub.add_parser(
+        "export", help="OpenMetrics text snapshot from a trace file or a "
+                       "metrics snapshot JSON")
+    export.add_argument("source", help="trace JSONL, or JSON with "
+                                       "counters/gauges/histograms")
+    export.add_argument("--out", default=None,
+                        help="write here instead of stdout")
+    export.add_argument("--window", type=float, default=1.0)
+    export.add_argument("--prefix", default="repro_")
+    return parser
+
+
+def _record_from_obj(obj: Dict[str, Any]) -> TraceRecord:
+    return TraceRecord(
+        time=float(obj["time"]),
+        source=str(obj["source"]),
+        kind=str(obj["kind"]),
+        fields=dict(obj.get("fields", {})),
+        seq=int(obj.get("seq", -1)),
+    )
+
+
+def _load_rules_or_none(path: Optional[str]) -> Optional[RuleSet]:
+    return load_rules(path) if path else None
+
+
+# -- tail -----------------------------------------------------------------
+
+
+class _TailState:
+    """Folds one JSONL stream, auto-detecting which stream it is."""
+
+    def __init__(self, rules: Optional[RuleSet], window_s: float) -> None:
+        self.mode: Optional[str] = None  # "progress" | "trace"
+        self.view = CampaignView()
+        self.session = LiveSession(rules=rules, window_s=window_s)
+        self.meta: Dict[str, Any] = {}
+        self.dirty = False
+
+    def feed(self, obj: Dict[str, Any]) -> None:
+        if self.mode is None:
+            self.mode = "progress" if "event" in obj else "trace"
+        if self.mode == "progress":
+            if "event" in obj:
+                self.view.feed(obj)
+                self.dirty = True
+            return
+        if "meta" in obj:
+            self.meta.update(obj["meta"] or {})
+            self.dirty = True
+            return
+        try:
+            rec = _record_from_obj(obj)
+        except (KeyError, TypeError, ValueError):
+            return  # foreign line in the stream; a viewer keeps going
+        self.session.feed(rec)
+        self.dirty = True
+
+    @property
+    def finished(self) -> bool:
+        return self.mode == "progress" and self.view.done
+
+    def frame(self, width: int) -> str:
+        if self.mode == "progress":
+            return render_campaign_frame(self.view, width=width)
+        return render_trace_frame(
+            self.session.aggregator, alerts=self.session.alerts,
+            meta=self.meta, width=width)
+
+
+def _tail(args: argparse.Namespace) -> int:
+    try:
+        rules = _load_rules_or_none(args.rules)
+        fh = open(args.path, "r", encoding="utf-8")
+    except (OSError, ReproError) as exc:
+        print(f"cannot tail: {exc}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    state = _TailState(rules, args.window)
+    is_tty = sys.stdout.isatty()
+    pending = ""
+    last_data = time.monotonic()
+    frame = ""
+    with fh:
+        while True:
+            chunk = fh.readline()
+            if chunk:
+                pending += chunk
+                if not pending.endswith("\n"):
+                    continue  # writer mid-line; wait for the rest
+                raw, pending = pending.strip(), ""
+                last_data = time.monotonic()
+                if raw:
+                    try:
+                        state.feed(json.loads(raw))
+                    except json.JSONDecodeError:
+                        pass  # torn line in a live file; keep tailing
+                continue
+            # caught up with the writer
+            if state.dirty or not frame:
+                frame = state.frame(args.width)
+                state.dirty = False
+                if is_tty and not args.once:
+                    sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+                    sys.stdout.flush()
+            if args.once or state.finished:
+                break
+            if (args.timeout
+                    and time.monotonic() - last_data > args.timeout):
+                break
+            time.sleep(max(args.interval, 0.05))
+    if state.mode == "trace":
+        state.session.finish()  # final rule evaluation
+        frame = state.frame(args.width)
+    if not is_tty or args.once:
+        print(frame)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as out:
+            out.write(frame + "\n")
+    return EXIT_OK
+
+
+# -- check ----------------------------------------------------------------
+
+
+def _check(args: argparse.Namespace) -> int:
+    from repro.monitor.trace_io import read_trace
+
+    try:
+        rules = load_rules(args.rules)
+        records, meta = read_trace(args.trace)
+    except (OSError, ReproError) as exc:
+        print(f"cannot check: {exc}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    session = LiveSession(rules=rules, window_s=args.window)
+    session.replay(records)
+    alerts = session.finish()
+    if args.json:
+        print(json.dumps({
+            "trace": args.trace,
+            "rules": args.rules,
+            "records": len(records),
+            "meta": meta,
+            "alerts": [a.to_dict() for a in alerts],
+            "snapshot": session.aggregator.snapshot(),
+        }, indent=1, sort_keys=True))
+    else:
+        print(f"{args.trace}: {len(records)} records, "
+              f"{len(rules)} rule(s), {len(alerts)} alert(s)")
+        for alert in alerts:
+            print("  " + alert.render())
+            for brief in alert.records:
+                print("      " + brief)
+    return EXIT_REGRESSION if alerts else EXIT_OK
+
+
+# -- export ---------------------------------------------------------------
+
+
+def _load_source(path: str, window_s: float):
+    """Returns metric families from whichever source ``path`` is."""
+    with open(path, "r", encoding="utf-8") as fh:
+        head = fh.read(1 << 20)
+    try:
+        doc = json.loads(head)
+    except json.JSONDecodeError:
+        doc = None
+    if isinstance(doc, dict):
+        if "telemetry" in doc and isinstance(doc["telemetry"], dict):
+            doc = doc["telemetry"]  # a RunReport dump
+        if {"counters", "gauges", "histograms"} & set(doc):
+            return from_metrics_snapshot(doc), "metrics snapshot"
+    # fall through: treat as a flight-recorder trace
+    from repro.monitor.trace_io import read_trace
+
+    from repro.live.series import TimeSeriesAggregator
+    records, _meta = read_trace(path)
+    agg = TimeSeriesAggregator(window_s=window_s).replay(records)
+    return from_aggregator(agg), f"trace ({len(records)} records)"
+
+
+def _export(args: argparse.Namespace) -> int:
+    try:
+        families, what = _load_source(args.source, args.window)
+    except (OSError, ReproError) as exc:
+        print(f"cannot export: {exc}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    if args.prefix != "repro_":
+        for fam in families:
+            fam.name = fam.name.replace("repro_", args.prefix, 1)
+    text = render_openmetrics(families)
+    # self-check before anything scrapes it
+    parse_openmetrics(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {len(families)} families from {what} to {args.out}",
+              file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return EXIT_OK
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "tail":
+        return _tail(args)
+    if args.command == "check":
+        return _check(args)
+    return _export(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

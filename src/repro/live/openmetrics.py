@@ -1,0 +1,275 @@
+"""OpenMetrics text exposition of the repro metrics surfaces.
+
+Two producers share one renderer:
+
+- :func:`from_metrics_snapshot` converts a
+  :meth:`repro.telemetry.metrics.MetricsRegistry.snapshot` dict
+  (counters, gauges, log-bucketed histograms) into metric families;
+- :func:`from_aggregator` exposes the live time-series
+  (:class:`~repro.live.series.TimeSeriesAggregator`) as gauges plus
+  observation counters.
+
+The output follows the OpenMetrics text format: one ``# TYPE`` /
+``# HELP`` block per family, counter sample names ending in ``_total``,
+histograms as cumulative ``_bucket{le=...}`` + ``_count`` + ``_sum``,
+and a terminating ``# EOF`` line.  :func:`parse_openmetrics` is the
+matching validator -- CI round-trips every export through it, so a
+malformed exposition fails the build rather than a scrape.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.util.errors import ConfigError
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)(?: (?P<timestamp>\S+))?$")
+_LABEL_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"')
+
+TYPES = ("counter", "gauge", "histogram", "unknown")
+
+
+def sanitize_name(name: str) -> str:
+    """Map an internal dotted metric name onto the OpenMetrics charset."""
+    out = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not out or not re.match(r"[a-zA-Z_:]", out[0]):
+        out = "_" + out
+    return out
+
+
+def _escape_label(value: str) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _fmt_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class Family:
+    """One metric family: a type, a help string, and its samples."""
+
+    def __init__(self, name: str, mtype: str, help_text: str = "") -> None:
+        if mtype not in TYPES:
+            raise ConfigError(f"unknown metric type {mtype!r}")
+        self.name = sanitize_name(name)
+        self.type = mtype
+        self.help = help_text
+        #: (sample suffix, labels dict, value)
+        self.samples: List[Tuple[str, Dict[str, str], float]] = []
+
+    def add(self, value: float, suffix: str = "",
+            labels: Optional[Dict[str, Any]] = None) -> "Family":
+        self.samples.append((suffix, dict(labels or {}), float(value)))
+        return self
+
+    def render(self) -> List[str]:
+        lines = [f"# TYPE {self.name} {self.type}"]
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        for suffix, labels, value in self.samples:
+            name = self.name + suffix
+            label_text = ""
+            if labels:
+                inner = ",".join(
+                    f'{sanitize_name(k)}="{_escape_label(v)}"'
+                    for k, v in labels.items())
+                label_text = "{" + inner + "}"
+            lines.append(f"{name}{label_text} {_fmt_value(value)}")
+        return lines
+
+
+def render_openmetrics(families: List[Family]) -> str:
+    """Full exposition: every family's block, then the ``# EOF`` marker."""
+    lines: List[str] = []
+    for family in families:
+        lines.extend(family.render())
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def from_metrics_snapshot(snapshot: Dict[str, Any],
+                          prefix: str = "repro_") -> List[Family]:
+    """Families from a ``MetricsRegistry.snapshot()`` document."""
+    families: List[Family] = []
+    for name, value in sorted((snapshot.get("counters") or {}).items()):
+        fam = Family(prefix + name, "counter", f"counter {name}")
+        fam.add(float(value), suffix="_total")
+        families.append(fam)
+    for name, gauge in sorted((snapshot.get("gauges") or {}).items()):
+        fam = Family(prefix + name, "gauge", f"gauge {name}")
+        fam.add(float(gauge.get("value", 0.0)))
+        families.append(fam)
+        high = gauge.get("high")
+        if high is not None:
+            hfam = Family(prefix + name + "_high", "gauge",
+                          f"high-water mark of {name}")
+            hfam.add(float(high))
+            families.append(hfam)
+    for name, hist in sorted((snapshot.get("histograms") or {}).items()):
+        fam = Family(prefix + name, "histogram", f"histogram {name}")
+        base = float(hist.get("base", 2.0))
+        buckets: Dict[str, int] = dict(hist.get("buckets") or {})
+        # log-bucketed counts -> cumulative le-labelled buckets
+        exps = sorted(int(k) for k in buckets if k != "underflow")
+        cumulative = int(buckets.get("underflow", 0))
+        if "underflow" in buckets and exps:
+            fam.add(cumulative, suffix="_bucket",
+                    labels={"le": _fmt_value(base ** (exps[0] - 1))})
+        for exp in exps:
+            cumulative += int(buckets[str(exp)])
+            fam.add(cumulative, suffix="_bucket",
+                    labels={"le": _fmt_value(base ** exp)})
+        fam.add(int(hist.get("count", cumulative)), suffix="_bucket",
+                labels={"le": "+Inf"})
+        fam.add(int(hist.get("count", 0)), suffix="_count")
+        fam.add(float(hist.get("total", 0.0)), suffix="_sum")
+        families.append(fam)
+    return families
+
+
+def from_aggregator(agg: Any, prefix: str = "repro_live_") -> List[Family]:
+    """Families from a live :class:`TimeSeriesAggregator`."""
+    families: List[Family] = [
+        Family(prefix + "records_seen", "counter",
+               "trace records folded into the live series").add(
+                   agg.records_seen, suffix="_total"),
+        Family(prefix + "open_recoveries", "gauge",
+               "kills whose data recovery has not completed").add(
+                   agg.open_recoveries),
+        Family(prefix + "now_seconds", "gauge",
+               "newest simulated time seen").add(agg.now),
+    ]
+    for name, series in agg.series.items():
+        latest = series.latest()
+        fam = Family(prefix + name, "gauge", f"live series {name} (latest)")
+        fam.add(latest if latest is not None else float("nan"))
+        families.append(fam)
+        families.append(
+            Family(prefix + name + "_observations", "counter",
+                   f"observations folded into {name}").add(
+                       series.total_count, suffix="_total"))
+    if agg.lanes:
+        states: Dict[str, int] = {}
+        for lane in agg.lanes.values():
+            states[lane.state] = states.get(lane.state, 0) + 1
+        fam = Family(prefix + "ranks", "gauge", "ranks by liveness state")
+        for state in sorted(states):
+            fam.add(states[state], labels={"state": state})
+        families.append(fam)
+    return families
+
+
+def _parse_labels(text: str, lineno: int) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    pos = 0
+    while pos < len(text):
+        m = _LABEL_RE.match(text, pos)
+        if m is None:
+            raise ConfigError(
+                f"line {lineno}: malformed label set {text!r}")
+        labels[m.group("name")] = m.group("value")
+        pos = m.end()
+        if pos < len(text):
+            if text[pos] != ",":
+                raise ConfigError(
+                    f"line {lineno}: expected ',' in label set {text!r}")
+            pos += 1
+    return labels
+
+
+def parse_openmetrics(text: str) -> Dict[str, List[Tuple[Dict[str, str], float]]]:
+    """Strict-enough validator for our own expositions.
+
+    Checks: names match the OpenMetrics charset, ``# TYPE`` precedes a
+    family's samples, counter samples end in ``_total``, sample values
+    parse as floats, labels are well formed, and the exposition ends
+    with ``# EOF`` and nothing after it.  Returns
+    ``{sample_name: [(labels, value), ...]}``; raises
+    :class:`~repro.util.errors.ConfigError` on any violation.
+    """
+    samples: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+    types: Dict[str, str] = {}
+    saw_eof = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if saw_eof:
+            raise ConfigError(f"line {lineno}: content after # EOF")
+        if not line.strip():
+            raise ConfigError(f"line {lineno}: blank line in exposition")
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[1] not in ("TYPE", "HELP"):
+                raise ConfigError(
+                    f"line {lineno}: malformed comment {line!r}")
+            name = parts[2]
+            if not _NAME_RE.match(name):
+                raise ConfigError(
+                    f"line {lineno}: bad metric name {name!r}")
+            if parts[1] == "TYPE":
+                mtype = parts[3].strip() if len(parts) > 3 else ""
+                if mtype not in TYPES:
+                    raise ConfigError(
+                        f"line {lineno}: unknown type {mtype!r}")
+                if name in types:
+                    raise ConfigError(
+                        f"line {lineno}: duplicate TYPE for {name}")
+                types[name] = mtype
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ConfigError(f"line {lineno}: malformed sample {line!r}")
+        name = m.group("name")
+        labels = _parse_labels(m.group("labels") or "", lineno)
+        for lname in labels:
+            if not _LABEL_NAME_RE.match(lname):
+                raise ConfigError(
+                    f"line {lineno}: bad label name {lname!r}")
+        raw = m.group("value")
+        try:
+            value = float({"+Inf": "inf", "-Inf": "-inf",
+                           "NaN": "nan"}.get(raw, raw))
+        except ValueError as exc:
+            raise ConfigError(
+                f"line {lineno}: bad sample value {raw!r}") from exc
+        family = _family_of(name, types)
+        if family is None:
+            raise ConfigError(
+                f"line {lineno}: sample {name!r} precedes its # TYPE")
+        if types[family] == "counter" and not name.endswith("_total"):
+            raise ConfigError(
+                f"line {lineno}: counter sample {name!r} "
+                "must end in _total")
+        samples.setdefault(name, []).append((labels, value))
+    if not saw_eof:
+        raise ConfigError("exposition does not end with # EOF")
+    return samples
+
+
+def _family_of(sample_name: str, types: Dict[str, str]) -> Optional[str]:
+    if sample_name in types:
+        return sample_name
+    for suffix in ("_total", "_bucket", "_count", "_sum"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in types:
+                return base
+    return None

@@ -33,7 +33,7 @@ from typing import List, Optional, Tuple
 from repro.monitor.base import MonitorSuite
 from repro.monitor.explain import explain_failure
 from repro.monitor.state import ProtocolStateTracker, render_state
-from repro.monitor.trace_io import read_trace, write_trace
+from repro.monitor.trace_io import JsonlTraceSink, read_trace, write_trace
 from repro.util.errors import ReproError
 
 APPS = ("heatdis", "heatdis2d", "minimd")
@@ -108,7 +108,9 @@ def _add_run_args(sub: argparse.ArgumentParser) -> None:
 
 def _run_live(app: str, strategy_name: str, n_ranks: int, iters: int,
               interval: int, spares: int, kill_rank: Optional[int],
-              kill_after: int, seed: int) -> Tuple[MonitorSuite, object]:
+              kill_after: int, seed: int,
+              sink: Optional[JsonlTraceSink] = None,
+              ) -> Tuple[MonitorSuite, object]:
     """One monitored job; returns (suite, runner-trace)."""
     # harness/experiments imported lazily: offline subcommands must work
     # without them (and the package import graph stays acyclic)
@@ -138,7 +140,8 @@ def _run_live(app: str, strategy_name: str, n_ranks: int, iters: int,
     suite = MonitorSuite()
     # strict_monitor=False: the CLI reports violations itself (exit code)
     # instead of letting the harness raise mid-run
-    kwargs = dict(plan=plan, strict_monitor=False, monitor=suite)
+    kwargs = dict(plan=plan, strict_monitor=False, monitor=suite,
+                  trace_sink=sink)
     if app == "heatdis":
         from repro.apps.heatdis import HeatdisConfig
         run_heatdis_job(env, strategy_name, n_ranks,
@@ -170,19 +173,24 @@ def _check(args: argparse.Namespace) -> int:
                            tuple(meta["dropped_window"])
                            if meta.get("dropped_window") else None)
     else:
+        # live runs stream the flight recorder as records are emitted,
+        # so a tailer (repro.live tail) can watch the run unfold
+        sink = JsonlTraceSink(args.save_trace) if args.save_trace else None
         try:
             suite, trace = _run_live(
                 args.app, args.strategy, args.ranks, args.iters,
                 args.interval, args.spares, args.kill_rank,
-                args.kill_after_checkpoint, args.seed,
+                args.kill_after_checkpoint, args.seed, sink=sink,
             )
         except ReproError as exc:
             print(str(exc), file=sys.stderr)
             return 2
-        if args.save_trace and trace is not None:
-            n = write_trace(args.save_trace, trace)
-            print(f"wrote {n} records to {args.save_trace}",
-                  file=sys.stderr)
+        finally:
+            if sink is not None:
+                sink.close()
+        if sink is not None:
+            print(f"streamed {sink.records_written} records to "
+                  f"{args.save_trace}", file=sys.stderr)
     if args.json:
         print(json.dumps(suite.to_dict(), indent=1))
     else:

@@ -1,11 +1,16 @@
 """Flight-recorder trace files: JSONL persistence for Trace records.
 
 One JSON object per line.  The first line is a meta header carrying the
-ring-buffer drop accounting, so a reader of a truncated trace knows the
-bounds of what is missing::
+ring-buffer and sampling drop accounting, so a reader of a truncated
+trace knows the bounds of what is missing::
 
     {"meta": {"version": 1, "dropped": 12, "dropped_window": [0.1, 0.4]}}
     {"seq": 13, "time": 0.41, "source": "fenix", "kind": "repair", ...}
+
+Meta lines are accepted *anywhere* in the stream (last one wins):
+:class:`JsonlTraceSink` streams records as they are emitted and only
+knows the final drop counts at close, so it appends a trailing meta
+line rather than seeking back to rewrite the header.
 
 Tuples inside record fields (e.g. VeloC flush keys) become JSON lists on
 the way out; monitors normalize on the way back in, so a replayed trace
@@ -39,17 +44,24 @@ def _json_default(value: Any) -> Any:
     return repr(value)
 
 
+def _trace_meta(trace: Trace) -> Dict[str, Any]:
+    sampled_window = getattr(trace, "sampled_window", None)
+    return {
+        "version": FORMAT_VERSION,
+        "dropped": trace.dropped,
+        "dropped_window": list(trace.dropped_window)
+        if trace.dropped_window else None,
+        "sampled_out": getattr(trace, "sampled_out", 0),
+        "sampled_window": list(sampled_window) if sampled_window else None,
+    }
+
+
 def write_trace(path: str, trace: Trace) -> int:
     """Write every held record (plus the drop header); returns the count."""
     n = 0
     with open(path, "w", encoding="utf-8") as fh:
-        meta: Dict[str, Any] = {
-            "version": FORMAT_VERSION,
-            "dropped": trace.dropped,
-            "dropped_window": list(trace.dropped_window)
-            if trace.dropped_window else None,
-        }
-        fh.write(json.dumps({"meta": meta}, default=_json_default) + "\n")
+        fh.write(json.dumps({"meta": _trace_meta(trace)},
+                            default=_json_default) + "\n")
         for rec in trace:
             fh.write(json.dumps(_record_to_obj(rec), default=_json_default)
                      + "\n")
@@ -62,10 +74,12 @@ def read_trace(path: str) -> Tuple[List[TraceRecord], Dict[str, Any]]:
 
     ``meta`` holds at least ``dropped`` (int) and ``dropped_window``
     (``[first, last]`` or None); files written by other tools without a
-    header are accepted with zeroed meta.
+    header are accepted with zeroed meta.  Meta lines may appear on any
+    line (streamed sinks append a trailing one); the last wins.
     """
     records: List[TraceRecord] = []
-    meta: Dict[str, Any] = {"dropped": 0, "dropped_window": None}
+    meta: Dict[str, Any] = {"dropped": 0, "dropped_window": None,
+                            "sampled_out": 0, "sampled_window": None}
     with open(path, "r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
@@ -77,7 +91,7 @@ def read_trace(path: str) -> Tuple[List[TraceRecord], Dict[str, Any]]:
                 raise ConfigError(
                     f"{path}:{lineno}: not valid JSON ({exc.msg})"
                 ) from exc
-            if "meta" in obj and lineno == 1:
+            if "meta" in obj:
                 meta.update(obj["meta"])
                 continue
             try:
@@ -105,7 +119,68 @@ def load_trace(path: str) -> Trace:
     window = meta.get("dropped_window")
     if window:
         trace._dropped_first, trace._dropped_last = window[0], window[1]
+    trace.sampled_out = int(meta.get("sampled_out") or 0)
+    swindow = meta.get("sampled_window")
+    if swindow:
+        trace._sampled_first, trace._sampled_last = swindow[0], swindow[1]
     return trace
+
+
+class JsonlTraceSink:
+    """Streaming flight recorder: records hit disk *as they are emitted*.
+
+    :func:`write_trace` is post-hoc -- nothing lands until the run ends,
+    so a hung or killed run leaves an empty file and ``tail -f`` shows
+    nothing.  This sink subscribes to the live trace and writes each
+    record the moment it exists, flushing per line so external tailers
+    (``repro.live tail``, CI log collectors) see the run unfold.  A meta
+    header goes out at attach; a trailing meta line with the *final*
+    drop accounting goes out at close (readers take the last meta seen).
+    """
+
+    def __init__(self, path: str, trace: Optional[Trace] = None) -> None:
+        self.path = path
+        self.records_written = 0
+        self._trace: Optional[Trace] = None
+        self._fh: Optional[Any] = open(path, "w", encoding="utf-8")
+        self._fh.write(json.dumps(
+            {"meta": {"version": FORMAT_VERSION, "streaming": True}},
+            default=_json_default) + "\n")
+        self._fh.flush()
+        if trace is not None:
+            self.attach(trace)
+
+    def attach(self, trace: Trace) -> "JsonlTraceSink":
+        for rec in trace:  # records emitted before the sink existed
+            self(rec)
+        trace.subscribe(self)
+        self._trace = trace
+        return self
+
+    def __call__(self, rec: TraceRecord) -> None:
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(_record_to_obj(rec),
+                                  default=_json_default) + "\n")
+        self._fh.flush()  # the whole point: no block buffering
+        self.records_written += 1
+
+    def close(self) -> None:
+        if self._fh is None:
+            return
+        if self._trace is not None:
+            self._trace.unsubscribe(self)
+            self._fh.write(json.dumps({"meta": _trace_meta(self._trace)},
+                                      default=_json_default) + "\n")
+            self._trace = None
+        self._fh.close()
+        self._fh = None
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
 
 
 def records_from(source: "Trace | Iterable[TraceRecord]") -> List[TraceRecord]:

@@ -45,6 +45,13 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+def _alerts_of(result: Optional[CellResult]) -> int:
+    """SLO alerts the cell's run fired (0 when the run carried no rules)."""
+    if result is None:
+        return 0
+    return len(getattr(result.report, "alerts", []) or [])
+
+
 def run_cells(
     specs: Sequence[CellSpec],
     jobs: Optional[int] = 1,
@@ -73,7 +80,8 @@ def run_cells(
             if hit is not None:
                 results[i] = hit
                 if progress is not None:
-                    progress.cell_done(i, spec.label, "cached")
+                    progress.cell_done(i, spec.label, "cached",
+                                       alerts=_alerts_of(hit))
                 continue
         misses.append(i)
 
@@ -97,6 +105,7 @@ def run_cells(
                     progress.cell_done(
                         i, specs[i].label, "fresh",
                         host_seconds=results[i].host_seconds,
+                        alerts=_alerts_of(results[i]),
                     )
     else:
         for i in misses:
@@ -110,7 +119,8 @@ def run_cells(
                 raise
             if progress is not None:
                 progress.cell_done(i, specs[i].label, "fresh",
-                                   host_seconds=results[i].host_seconds)
+                                   host_seconds=results[i].host_seconds,
+                                   alerts=_alerts_of(results[i]))
 
     if cache is not None:
         for i in misses:

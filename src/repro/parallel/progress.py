@@ -20,9 +20,9 @@ Event vocabulary (the JSONL contract, ``schema`` 1)::
 
     {"event": "campaign_start", "total": N, "jobs": J}
     {"event": "cell_done", "index": i, "label": ..., "state":
-        "cached"|"fresh"|"failed", "host_seconds": s, "completed": c,
-        "total": N, "cache_hits": h, "cache_misses": m, "eta_s": e,
-        "utilization": u}
+        "cached"|"fresh"|"failed", "host_seconds": s, "alerts": a,
+        "completed": c, "total": N, "cache_hits": h, "cache_misses": m,
+        "eta_s": e, "utilization": u}
     {"event": "campaign_end", "total": N, "cached": h, "fresh": f,
         "failed": x, "host_seconds": s}
 
@@ -170,7 +170,7 @@ class CampaignProgress:
         self.in_flight += 1
 
     def cell_done(self, index: int, label: str, state: str,
-                  host_seconds: float = 0.0) -> None:
+                  host_seconds: float = 0.0, alerts: int = 0) -> None:
         if state not in CELL_STATES:
             raise ValueError(f"unknown cell state {state!r}")
         self.in_flight = max(0, self.in_flight - 1)
@@ -188,6 +188,7 @@ class CampaignProgress:
             "label": label,
             "state": state,
             "host_seconds": round(host_seconds, 6),
+            "alerts": int(alerts),
             "completed": self.completed,
             "total": self.total,
             "cache_hits": self.cached,

@@ -34,6 +34,7 @@ from repro.sim import (
     NoFailures,
     TimedFailure,
 )
+from repro.telemetry.sampling import SamplingPolicy
 from repro.util.errors import ConfigError
 
 #: default ring-buffer size for telemetered sweep runs: long campaigns
@@ -155,6 +156,13 @@ class CellSpec:
     telemetry: bool = False
     #: Trace ring-buffer size for telemetered runs (None = unbounded)
     trace_max_records: Optional[int] = DEFAULT_TRACE_MAX_RECORDS
+    #: overhead-bounding head-sampling policy for telemetered runs
+    #: (None = keep everything); deterministic, so cells stay
+    #: content-addressable
+    sampling: Optional["SamplingPolicy"] = None
+    #: path to an SLO rules file evaluated live during the run; fired
+    #: alerts land in ``RunReport.alerts``
+    rules: Optional[str] = None
     #: free-form tag for reassembling sweep results; not part of the
     #: cache identity
     label: str = ""
@@ -204,9 +212,11 @@ def execute_cell(spec: CellSpec) -> CellResult:
     global RUNS_EXECUTED
     telemetry = None
     if spec.telemetry:
-        from repro.telemetry import Telemetry
+        from repro.telemetry import SpanSampler, Telemetry
 
-        telemetry = Telemetry()
+        sampler = (SpanSampler(spec.sampling)
+                   if spec.sampling is not None else None)
+        telemetry = Telemetry(sampler=sampler)
     plan = spec.plan.build()
     runner = _APP_RUNNERS[spec.app]
     t0 = time.perf_counter()
@@ -219,6 +229,7 @@ def execute_cell(spec: CellSpec) -> CellResult:
         plan=plan,
         telemetry=telemetry,
         trace_max_records=spec.trace_max_records,
+        rules=spec.rules,
     )
     host_seconds = time.perf_counter() - t0
     RUNS_EXECUTED += 1

@@ -225,6 +225,8 @@ def _tiles(ledger: Any, scorecard: Dict[str, Any]) -> str:
     prog = ledger.progress or {}
     total_viol = sum(e.get("total_violations", 0)
                      for e in scorecard["strategies"].values())
+    total_alerts = sum(e.get("total_alerts", 0)
+                       for e in scorecard["strategies"].values())
     tiles = [
         ("runs", ledger.cells()),
         ("strategies", len(ledger.strategies)),
@@ -233,6 +235,7 @@ def _tiles(ledger: Any, scorecard: Dict[str, Any]) -> str:
         ("cache hits", prog.get("cache_hits", 0)),
         ("simulated", prog.get("cache_misses", ledger.cells())),
         ("violations", total_viol),
+        ("SLO alerts", total_alerts),
         ("anomaly flags", len(scorecard.get("flags", []))),
     ]
     cells = "".join(
@@ -302,7 +305,7 @@ def _runs_table(ledger: Any) -> str:
             f"<td>{r.n_ranks}</td><td>{r.seed}</td>"
             f"<td>{r.wall_time:.3f}</td><td>{over}</td>"
             f"<td>{r.attempts}</td><td>{r.failures}</td>"
-            f"<td>{r.violations}</td>"
+            f"<td>{r.violations}</td><td>{r.alerts}</td>"
             f"<td>{'cache' if r.cached else 'sim'}</td>"
             "</tr>"
         )
@@ -311,7 +314,8 @@ def _runs_table(ledger: Any) -> str:
         f"({ledger.cells()})</summary><table><thead><tr>"
         "<th>cell</th><th>strategy</th><th>ranks</th><th>seed</th>"
         "<th>wall (s)</th><th>overhead</th><th>attempts</th>"
-        "<th>failures</th><th>violations</th><th>from</th>"
+        "<th>failures</th><th>violations</th><th>alerts</th>"
+        "<th>from</th>"
         "</tr></thead><tbody>" + "".join(rows)
         + "</tbody></table></details>"
     )
@@ -346,7 +350,8 @@ def _flags(scorecard: Dict[str, Any]) -> str:
     flags = scorecard.get("flags", [])
     if not flags:
         return ("<h2>Anomalies</h2><p class=\"sub\">No outliers, host "
-                "anomalies, or invariant violations flagged.</p>")
+                "anomalies, invariant violations, or SLO alerts "
+                "flagged.</p>")
     items = "".join(f"<li>&#9888;&#65039; {esc(f)}</li>" for f in flags)
     return f'<h2>Anomalies</h2><ul class="flags">{items}</ul>'
 

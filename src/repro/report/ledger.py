@@ -97,6 +97,9 @@ class RunRecord:
     failures: int
     buckets: Dict[str, float] = field(default_factory=dict)
     violations: int = 0
+    #: SLO alerts the live rules engine fired during this run (0 when
+    #: the run carried no rules file)
+    alerts: int = 0
     cached: bool = False
     host_seconds: float = 0.0
     #: iterations/steps the cell simulated (for host-cost normalization;
@@ -139,6 +142,7 @@ class RunRecord:
             "failures": self.failures,
             "buckets": dict(self.buckets),
             "violations": self.violations,
+            "alerts": self.alerts,
             "cached": self.cached,
             "host_seconds": self.host_seconds,
             "n_iters": self.n_iters,
@@ -158,6 +162,7 @@ class RunRecord:
             failures=doc["failures"],
             buckets=dict(doc.get("buckets", {})),
             violations=doc.get("violations", 0),
+            alerts=doc.get("alerts", 0),
             cached=doc.get("cached", False),
             host_seconds=doc.get("host_seconds", 0.0),
             n_iters=doc.get("n_iters", 0),
@@ -181,6 +186,7 @@ class RunRecord:
             failures=result.failures,
             buckets=dict(report.buckets),
             violations=len(report.violations),
+            alerts=len(getattr(report, "alerts", []) or []),
             cached=result.cached,
             host_seconds=result.host_seconds,
             n_iters=n_iters,
@@ -320,6 +326,7 @@ def build_scorecard(ledger: CampaignLedger) -> Dict[str, Any]:
             "n_failed_runs": sum(1 for r in runs if r.failures > 0),
             "total_failures": sum(r.failures for r in runs),
             "total_violations": sum(r.violations for r in runs),
+            "total_alerts": sum(r.alerts for r in runs),
             "scales": sorted({r.n_ranks for r in runs}),
             "metrics": {
                 "efficiency": stats.summarize(eff),
@@ -431,6 +438,12 @@ def flag_anomalies(
             f"invariant violations: {r.label} reported {r.violations} "
             f"protocol violation(s); see repro.monitor"
         )
+    for r in ledger.runs:
+        if r.alerts > 0:
+            flags.append(
+                f"slo alerts: {r.label} fired {r.alerts} live alert(s); "
+                f"see repro.live"
+            )
     return flags
 
 
@@ -473,7 +486,7 @@ def format_scorecard(scorecard: Dict[str, Any]) -> str:
     header = (f"  {'strategy':<18} {'runs':>4} {'eff':>6}  "
               f"{'overhead%':>22}  {'recovery(s)':>22}  "
               f"{'recompute%':>10}  {'ckpt%':>6}  "
-              f"{'dirty%':>6}  {'dedup%':>6}")
+              f"{'dirty%':>6}  {'dedup%':>6}  {'alerts':>6}")
     lines.append(header)
     lines.append("  " + "-" * (len(header) - 2))
     for strategy, entry in scorecard.get("strategies", {}).items():
@@ -499,7 +512,8 @@ def format_scorecard(scorecard: Dict[str, Any]) -> str:
             f"{m['recompute_frac']['mean'] * 100:>9.2f}%  "
             f"{m['checkpoint_frac']['mean'] * 100:>5.2f}%  "
             f"{pct(m.get('dirty_fraction', {'n': 0})):>6}  "
-            f"{pct(m.get('dedup_ratio', {'n': 0})):>6}"
+            f"{pct(m.get('dedup_ratio', {'n': 0})):>6}  "
+            f"{entry.get('total_alerts', 0):>6}"
         )
     flags = scorecard.get("flags", [])
     if flags:

@@ -68,7 +68,8 @@ class Trace:
     """
 
     def __init__(self, enabled: bool = True,
-                 max_records: Optional[int] = None) -> None:
+                 max_records: Optional[int] = None,
+                 sampler: Optional[Any] = None) -> None:
         if max_records is not None and max_records < 1:
             raise ConfigError(f"max_records must be >= 1, got {max_records}")
         self.enabled = enabled
@@ -84,6 +85,20 @@ class Trace:
         #: eviction pops the oldest entry of the evicted record's kind)
         self._by_kind: Dict[str, Deque[TraceRecord]] = {}
         self._listeners: List[Callable[[TraceRecord], None]] = []
+        #: overhead-bounded sampler (:class:`repro.telemetry.sampling
+        #: .SpanSampler`); protocol-critical kinds are exempt inside the
+        #: sampler itself, so monitors never miss a record they consume
+        self.sampler = sampler
+        #: records suppressed by the sampler (never materialized, unlike
+        #: ring evictions which existed and were displaced)
+        self.sampled_out = 0
+        self._sampled_first: Optional[float] = None
+        self._sampled_last: Optional[float] = None
+        #: listener exceptions swallowed by emit() (satellite of the
+        #: observer-must-not-kill-the-run rule); the harness surfaces a
+        #: warning in the RunReport when nonzero
+        self.listener_errors = 0
+        self.last_listener_error: Optional[str] = None
 
     # -- subscriptions ---------------------------------------------------
 
@@ -93,7 +108,10 @@ class Trace:
         This is the online-monitoring hook: :class:`repro.monitor`
         state machines attach here to check invariants as the run
         executes.  Listeners must not raise for flow control; they
-        collect findings and report at the end."""
+        collect findings and report at the end.  A listener that does
+        raise is isolated -- the exception is swallowed, counted in
+        :attr:`listener_errors`, and surfaced as a harness warning --
+        so a broken observer can never alter the run it observes."""
         self._listeners.append(listener)
 
     def unsubscribe(self, listener: Callable[[TraceRecord], None]) -> None:
@@ -105,6 +123,12 @@ class Trace:
     def emit(self, time: float, source: str, kind: str,
              **fields: Any) -> Optional[TraceRecord]:
         if not self.enabled:
+            return None
+        if self.sampler is not None and not self.sampler.keep_record(kind):
+            self.sampled_out += 1
+            if self._sampled_first is None:
+                self._sampled_first = time
+            self._sampled_last = time
             return None
         if (self.max_records is not None
                 and len(self._records) == self.max_records):
@@ -120,8 +144,20 @@ class Trace:
         rec = TraceRecord(time, source, kind, fields, seq=self._seq)
         self._records.append(rec)
         self._by_kind.setdefault(kind, deque()).append(rec)
-        for listener in self._listeners:
-            listener(rec)
+        # a listener that raises must not propagate into the simulated
+        # process that happened to emit the record -- observers observe,
+        # they never alter the run.  Failures are counted and surfaced
+        # as a RunReport warning by the harness.
+        for listener in tuple(self._listeners):
+            try:
+                listener(rec)
+            except Exception as exc:  # noqa: BLE001 - isolation by design
+                self.listener_errors += 1
+                self.last_listener_error = (
+                    f"{type(exc).__name__}: {exc} "
+                    f"(listener {getattr(listener, '__qualname__', listener)!r}"
+                    f" on record {rec.brief()})"
+                )
         return rec
 
     @property
@@ -131,6 +167,16 @@ class Trace:
         if self.dropped == 0 or self._dropped_first is None:
             return None
         return (self._dropped_first, self._dropped_last)
+
+    @property
+    def sampled_window(self) -> Optional[Tuple[float, float]]:
+        """``(first, last)`` simulated times of sampled-out records --
+        the same shape as :attr:`dropped_window`, kept separate because
+        sampling drops are *chosen* (and exclude every protocol-critical
+        kind) while ring evictions are overflow."""
+        if self.sampled_out == 0 or self._sampled_first is None:
+            return None
+        return (self._sampled_first, self._sampled_last)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -178,3 +224,8 @@ class Trace:
         self.dropped = 0
         self._dropped_first = None
         self._dropped_last = None
+        self.sampled_out = 0
+        self._sampled_first = None
+        self._sampled_last = None
+        self.listener_errors = 0
+        self.last_listener_error = None

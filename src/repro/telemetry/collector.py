@@ -26,13 +26,15 @@ from __future__ import annotations
 from typing import Any, Dict, Optional, Union
 
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.sampling import SpanSampler
 from repro.telemetry.spans import NULL_SPAN, SpanRecord, Tracer, _NullSpan, _SpanHandle
 
 
 class Telemetry:
     """Metrics + spans for one job; disabled instances are no-ops."""
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True,
+                 sampler: Optional[SpanSampler] = None) -> None:
         self.enabled = enabled
         self.tracer = Tracer()
         #: job-level metrics (server backlogs, spare-pool depth, revokes)
@@ -41,6 +43,9 @@ class Telemetry:
         #: the legacy event trace of the instrumented run, when the
         #: harness recorded one (exporters interleave it with spans)
         self.trace: Optional[Any] = None
+        #: overhead-bounded adaptive sampler; None records everything.
+        #: Shared with the run's Trace so drop accounting is one ledger.
+        self.sampler = sampler
 
     # -- wiring ---------------------------------------------------------
 
@@ -55,11 +60,17 @@ class Telemetry:
              **fields: Any) -> Union[_SpanHandle, _NullSpan]:
         if not self.enabled:
             return NULL_SPAN
+        # sampled-out spans take the disabled fast path: call sites
+        # already guard field writes with ``if sp is not None``
+        if self.sampler is not None and not self.sampler.keep_span(name):
+            return NULL_SPAN
         return self.tracer.span(source, name, **fields)
 
     def instant(self, source: str, name: str,
                 **fields: Any) -> Optional[SpanRecord]:
         if not self.enabled:
+            return None
+        if self.sampler is not None and not self.sampler.keep_span(name):
             return None
         return self.tracer.instant(source, name, **fields)
 
@@ -109,7 +120,7 @@ class Telemetry:
 
     def metrics_summary(self) -> Dict:
         """JSON-ready snapshot: merged view plus the per-rank breakdown."""
-        return {
+        out = {
             "merged": self.merged_metrics().snapshot(),
             "job": self.metrics.snapshot(),
             "ranks": {
@@ -117,6 +128,9 @@ class Telemetry:
                 for r, reg in sorted(self._rank_metrics.items())
             },
         }
+        if self.sampler is not None:
+            out["sampling"] = self.sampler.summary()
+        return out
 
     def clear(self) -> None:
         self.tracer.clear()

@@ -203,6 +203,7 @@ class VeloCClient:
         self.stats["checkpoint_bytes"] += total
         self.stats["dirty_bytes"] += dirty_bytes
         self.stats["novel_bytes"] += novel_bytes
+        dt = engine.now - t0
         self.cluster.trace.emit(
             engine.now,
             f"veloc.rank{self.veloc_rank}",
@@ -210,8 +211,8 @@ class VeloCClient:
             version=int(version),
             nbytes=total,
             dirty_bytes=dirty_bytes,
+            seconds=dt,
         )
-        dt = engine.now - t0
         self.ctx.account.charge(CHECKPOINT_FUNCTION, dt)
         if tel.enabled:
             rm = tel.rank_metrics(self.veloc_rank)

@@ -97,9 +97,16 @@ class VeloCServer:
             stored_nbytes=float(nbytes if stored_nbytes is None
                                 else stored_nbytes),
         ))
+        src = f"veloc.server{self.node.index}"
+        # the enqueue side of the backlog: paired with flush_done, live
+        # consumers (repro.live) integrate these into an exact
+        # bytes-in-flight series without reading server internals
+        self.cluster.trace.emit(
+            self.engine.now, src, "flush_submit",
+            key=key, nbytes=nbytes, backlog=self.backlog,
+        )
         tel = self.engine.telemetry
         if tel.enabled:
-            src = f"veloc.server{self.node.index}"
             tel.instant(src, "veloc.submit", key=str(key), nbytes=nbytes)
             tel.set_gauge(f"{src}.backlog", self.backlog)
             tel.observe("veloc.flush.backlog", self.backlog)

@@ -1,0 +1,101 @@
+"""OpenMetrics rendering round-trips through the strict parser."""
+
+import pytest
+
+from repro.live.openmetrics import (
+    Family,
+    from_aggregator,
+    from_metrics_snapshot,
+    parse_openmetrics,
+    render_openmetrics,
+    sanitize_name,
+)
+from repro.live.series import TimeSeriesAggregator
+from repro.sim.trace import Trace
+from repro.util.errors import ConfigError
+
+SNAPSHOT = {
+    "counters": {"veloc.checkpoint.count": 6, "mpi.revokes": 1},
+    "gauges": {"fenix.spare_pool_depth": {"value": 1.0, "high": 2.0}},
+    "histograms": {
+        "veloc.checkpoint.latency": {
+            "base": 2.0,
+            "buckets": {"underflow": 1, "-3": 2, "-1": 3},
+            "count": 6,
+            "total": 0.9,
+        },
+    },
+}
+
+
+def test_sanitize_name():
+    assert sanitize_name("veloc.checkpoint.count") == "veloc_checkpoint_count"
+    assert sanitize_name("9lives") == "_9lives"
+    assert sanitize_name("ok_name:x") == "ok_name:x"
+
+
+def test_snapshot_round_trip():
+    text = render_openmetrics(from_metrics_snapshot(SNAPSHOT))
+    assert text.endswith("# EOF\n")
+    samples = parse_openmetrics(text)
+    assert samples["repro_veloc_checkpoint_count_total"] == [({}, 6.0)]
+    assert samples["repro_fenix_spare_pool_depth"] == [({}, 1.0)]
+    assert samples["repro_fenix_spare_pool_depth_high"] == [({}, 2.0)]
+    # histogram: cumulative le-buckets, monotone, +Inf equals count
+    buckets = samples["repro_veloc_checkpoint_latency_bucket"]
+    values = [v for (_, v) in buckets]
+    assert values == sorted(values)
+    les = [lb["le"] for (lb, _) in buckets]
+    assert les[-1] == "+Inf"
+    assert buckets[-1][1] == 6.0
+    assert samples["repro_veloc_checkpoint_latency_count"] == [({}, 6.0)]
+    assert samples["repro_veloc_checkpoint_latency_sum"] == [({}, 0.9)]
+
+
+def test_aggregator_families_round_trip():
+    tr = Trace(enabled=True)
+    agg = TimeSeriesAggregator()
+    agg.attach(tr)
+    tr.emit(0.0, "app.attempt1", "comm_create", members=[0, 1, 2])
+    tr.emit(1.0, "veloc.server0", "flush_submit", nbytes=64.0)
+    tr.emit(2.0, "app.attempt1", "rank_killed", rank=2)
+    text = render_openmetrics(from_aggregator(agg))
+    samples = parse_openmetrics(text)
+    assert samples["repro_live_records_seen_total"] == [({}, 3.0)]
+    assert samples["repro_live_flush_backlog_bytes"] == [({}, 64.0)]
+    assert samples["repro_live_open_recoveries"] == [({}, 1.0)]
+    by_state = dict(
+        (labels["state"], v) for labels, v in samples["repro_live_ranks"])
+    assert by_state == {"alive": 2.0, "dead": 1.0}
+    # empty series export as NaN gauges, still parseable
+    (labels, value), = samples["repro_live_recovery_latency_s"]
+    assert value != value
+
+
+def test_label_escaping_survives():
+    fam = Family("x", "gauge")
+    fam.add(1.0, labels={"path": 'a"b\\c\nd'})
+    samples = parse_openmetrics(render_openmetrics([fam]))
+    (labels, _), = samples["x"]
+    assert labels["path"] == 'a\\"b\\\\c\\nd'
+
+
+@pytest.mark.parametrize("text, fragment", [
+    ("# TYPE x gauge\nx 1\n", "does not end with # EOF"),
+    ("# TYPE x gauge\nx 1\n# EOF\nleft-over\n", "after # EOF"),
+    ("# TYPE x gauge\n\nx 1\n# EOF\n", "blank line"),
+    ("x 1\n# EOF\n", "precedes its # TYPE"),
+    ("# TYPE x counter\nx 1\n# EOF\n", "must end in _total"),
+    ("# TYPE x gauge\nx{9bad=\"v\"} 1\n# EOF\n", "malformed"),
+    ("# TYPE x gauge\nx nope\n# EOF\n", "bad sample value"),
+    ("# TYPE x wat\nx 1\n# EOF\n", "unknown type"),
+    ("# TYPE x gauge\n# TYPE x gauge\n# EOF\n", "duplicate TYPE"),
+])
+def test_parser_rejects_malformed_expositions(text, fragment):
+    with pytest.raises(ConfigError, match=fragment):
+        parse_openmetrics(text)
+
+
+def test_family_rejects_unknown_type():
+    with pytest.raises(ConfigError):
+        Family("x", "summary")

@@ -1,0 +1,127 @@
+"""Sampling end-to-end: observability shrinks, conclusions do not.
+
+Two acceptance properties for overhead-bounded sampling:
+
+* a PROTOCOLS.md §4 shrink campaign under the *tightest* policy still
+  passes every monitor invariant, and the profile layer's recovery
+  critical path is byte-identical to the sampling-off run; and
+* on a fig5-shaped job the tightest policy cuts telemetry volume by at
+  least half, with every suppressed span and record accounted for.
+"""
+
+import json
+
+from repro.apps.heatdis import HeatdisConfig
+from repro.apps.heatdis_elastic import make_elastic_heatdis_main
+from repro.experiments.common import paper_env
+from repro.fenix import FenixSystem
+from repro.harness.runner import run_heatdis_job
+from repro.monitor import MonitorSuite
+from repro.mpi import World
+from repro.profile import extract_critical_path
+from repro.sim import Cluster, ClusterSpec, NetworkSpec, NodeSpec, PFSSpec
+from repro.sim.failures import IterationFailure
+from repro.telemetry import SamplingPolicy, SpanSampler, Telemetry
+
+
+def run_shrink(sampler=None):
+    """§4 spare-exhaustion: 3 ranks, zero spares, rank 1 killed at it 17."""
+    tel = Telemetry(sampler=sampler)
+    cluster = Cluster(
+        ClusterSpec(
+            n_nodes=3,
+            node=NodeSpec(nic_bandwidth=1e9, nic_latency=1e-6,
+                          memory_bandwidth=1e10),
+            network=NetworkSpec(fabric_latency=0.0),
+            pfs=PFSSpec(n_servers=2, server_bandwidth=5e8,
+                        server_latency=1e-5),
+        ),
+        telemetry=tel,
+    )
+    cluster.trace.enabled = True
+    cluster.trace.sampler = sampler
+    plan = IterationFailure([(1, 17)])
+    suite = MonitorSuite()
+    suite.attach(cluster.trace)
+    world = World(cluster, 3)
+    system = FenixSystem(world, n_spares=0, spare_policy="shrink")
+    cfg = HeatdisConfig(local_rows=4, cols=16, modeled_bytes_per_rank=16e6,
+                        n_iters=30)
+    main = make_elastic_heatdis_main(cfg, cluster, 12, 3, 6,
+                                     failure_plan=plan, results={})
+
+    def wrapped(rank):
+        yield from system.run(world.context(rank), main)
+
+    for r in range(3):
+        world.spawn(r, wrapped(r), failure_plan=plan)
+    cluster.engine.run()
+    world.raise_job_errors()
+    suite.finish()
+    return tel, cluster.trace, suite
+
+
+class TestShrinkUnderTightestSampling:
+    def test_monitors_and_critical_path_survive_tightest_policy(self):
+        base_tel, base_trace, base_suite = run_shrink(sampler=None)
+        sampler = SpanSampler(SamplingPolicy.tightest())
+        tight_tel, tight_trace, tight_suite = run_shrink(sampler=sampler)
+
+        # zero monitor false-positives: the protocol story is intact
+        assert base_suite.violations == []
+        assert tight_suite.violations == []
+
+        # no protocol trace record was suppressed in this campaign: every
+        # kind the §4 monitors consume is exempt by construction
+        assert tight_trace.sampled_out == 0
+        assert len(list(tight_trace)) == len(list(base_trace))
+
+        # the recovery critical path is byte-identical either way
+        base_cp = json.dumps(extract_critical_path(base_tel).to_dict(),
+                             sort_keys=True)
+        tight_cp = json.dumps(extract_critical_path(tight_tel).to_dict(),
+                              sort_keys=True)
+        assert base_cp == tight_cp
+
+        # ... while the span firehose genuinely shrank
+        base_n = len(base_tel.tracer.spans)
+        tight_n = len(tight_tel.tracer.spans)
+        assert tight_n < base_n
+        assert tight_n + sampler.dropped_span_total == base_n
+
+
+class TestFig5VolumeReduction:
+    def run_fig5(self, sampler=None):
+        """Fig-5 shape: 8-rank heatdis, fenix_kr_veloc, one mid-run kill."""
+        tel = Telemetry(sampler=sampler)
+        suite = MonitorSuite()
+        env = paper_env(9, n_spares=1, pfs_servers=2)
+        plan = IterationFailure.between_checkpoints(2, 10, 1)
+        report = run_heatdis_job(
+            env, "fenix_kr_veloc", 8,
+            HeatdisConfig(n_iters=40, modeled_bytes_per_rank=16e6), 10,
+            plan=plan, telemetry=tel, monitor=suite, strict_monitor=True,
+        )
+        return report, tel, suite._trace
+
+    def test_tightest_policy_halves_volume_with_exact_accounting(self):
+        base_report, base_tel, base_trace = self.run_fig5(sampler=None)
+        sampler = SpanSampler(SamplingPolicy.tightest())
+        report, tel, trace = self.run_fig5(sampler=sampler)
+
+        # physics unchanged: sampling is a pure observer knob
+        assert report.wall_time == base_report.wall_time
+
+        baseline = len(base_tel.tracer)
+        kept = len(tel.tracer)
+        assert kept <= baseline / 2, (kept, baseline)
+        # conservation: every span/instant is either kept or counted
+        assert kept + sampler.dropped_span_total == baseline
+
+        # the flight recorder shares the sampler and the same invariant
+        assert trace.sampled_out > 0
+        assert len(list(trace)) + trace.sampled_out == len(list(base_trace))
+
+        summary = sampler.summary()
+        assert summary["dropped_span_total"] == sampler.dropped_span_total
+        assert summary["dropped_spans"]  # per-name attribution present
