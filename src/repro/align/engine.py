@@ -1,0 +1,455 @@
+"""The alignment engine: merge two keyed streams, classify, root-cause.
+
+Given two record streams (plus their drop-accounting metas), the engine
+keys both (:mod:`repro.align.keying`), then classifies every record:
+
+- **matched** -- same key, same canonical value, same relative order
+  among the protocol-critical anchors;
+- **reordered** -- same key and value, but the record's position among
+  the anchors inverted between runs (found via a longest-increasing-
+  subsequence pass, so only genuinely displaced anchors are blamed);
+- **value-drifted** -- same key, different non-volatile fields;
+- **missing** / **extra** -- the key exists in only one stream;
+- **excused** -- a missing/extra record that the counterpart's ring
+  buffer accounted for (its time falls inside the ``dropped_window``),
+  which is exactly the "say what you did not see" accounting the trace
+  layer keeps.
+
+When the two runs' *sampling* accounting differs (one was recorded
+under a :class:`~repro.telemetry.sampling.SamplingPolicy`, the other
+not, or the policies differ), the sampleable kinds are excluded from
+the comparison entirely and counted in ``excluded_sampleable`` -- the
+skeleton of protocol-critical kinds is the comparable contract.
+
+The first-divergence root-causer (:func:`first_divergence_report`)
+takes the earliest surviving divergence, attributes it to a resiliency
+layer, renders the causal record briefs around it (reusing
+:meth:`~repro.sim.trace.TraceRecord.brief`, the monitor's rendering),
+and reports the downstream deltas: wall time, recovery latency
+(kill -> first re-entry, the measurement :mod:`repro.monitor.explain`
+uses), and the per-layer recovery path mirroring the profile
+critical-path stages.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.align.keying import (
+    ANCHOR_KINDS,
+    KeyedRecord,
+    key_records,
+    layer_of,
+    protocol_critical,
+)
+from repro.sim.trace import TraceRecord
+
+#: divergence categories, in blame order (a missing anchor is reported
+#: ahead of a value drift at the same simulated time)
+CATEGORIES = ("missing", "extra", "value", "reorder")
+
+#: layer precedence for same-instant divergences: a kill and its
+#: downstream echoes (the victim's lost region entry, the survivors'
+#: detect/gate records) all surface at the same simulated time, and the
+#: root cause is the lowest layer of the stack that moved
+_LAYER_ORDER = ("process", "ulfm", "fenix", "veloc", "kr", "recompute",
+                "app")
+
+_EPS = 1e-12
+
+
+@dataclass
+class Divergence:
+    """One classified disagreement between two runs."""
+
+    category: str
+    layer: str
+    key: Tuple[Optional[int], str, Optional[float], int]
+    #: simulated time the divergence surfaces (min over both sides)
+    time: float
+    #: one-line human statement of the disagreement
+    summary: str
+    #: the record's own brief(s): run A first, then run B, when present
+    briefs: List[str] = field(default_factory=list)
+    #: which fields drifted (value category only)
+    fields: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        wrank, kind, epoch, occurrence = self.key
+        return {
+            "category": self.category,
+            "layer": self.layer,
+            "key": {
+                "wrank": wrank,
+                "kind": kind,
+                "epoch": epoch,
+                "occurrence": occurrence,
+            },
+            "time": self.time,
+            "summary": self.summary,
+            "briefs": list(self.briefs),
+            "fields": list(self.fields),
+        }
+
+
+@dataclass
+class Alignment:
+    """The full classification of one trace pair."""
+
+    n_a: int
+    n_b: int
+    matched: int = 0
+    excused: int = 0
+    excluded_sampleable: int = 0
+    divergences: List[Divergence] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def divergent(self) -> bool:
+        return bool(self.divergences)
+
+    @property
+    def first(self) -> Optional[Divergence]:
+        return self.divergences[0] if self.divergences else None
+
+    def counts(self) -> Dict[str, int]:
+        out = {c: 0 for c in CATEGORIES}
+        for d in self.divergences:
+            out[d.category] += 1
+        out["matched"] = self.matched
+        out["excused"] = self.excused
+        out["excluded_sampleable"] = self.excluded_sampleable
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "records_a": self.n_a,
+            "records_b": self.n_b,
+            "counts": self.counts(),
+            "divergent": self.divergent,
+            "divergences": [d.to_dict() for d in self.divergences],
+            "notes": list(self.notes),
+        }
+
+
+def _meta_int(meta: Optional[Dict[str, Any]], name: str) -> int:
+    if not meta:
+        return 0
+    try:
+        return int(meta.get(name) or 0)
+    except (TypeError, ValueError):
+        return 0
+
+
+def _drop_horizon(meta: Optional[Dict[str, Any]]) -> Optional[float]:
+    """Latest simulated time the counterpart's ring buffer evicted."""
+    if not meta or not meta.get("dropped"):
+        return None
+    window = meta.get("dropped_window")
+    if not window:
+        return None
+    return float(window[1])
+
+
+def _lis_membership(positions: Sequence[int]) -> List[bool]:
+    """True for elements on one longest strictly increasing subsequence
+    (patience sorting with parent pointers, O(n log n)); everything off
+    the subsequence is a genuinely displaced element."""
+    n = len(positions)
+    if n == 0:
+        return []
+    tails: List[int] = []          # indices into positions
+    tail_values: List[int] = []
+    parents = [-1] * n
+    for i, value in enumerate(positions):
+        j = bisect.bisect_left(tail_values, value)
+        parents[i] = tails[j - 1] if j > 0 else -1
+        if j == len(tails):
+            tails.append(i)
+            tail_values.append(value)
+        else:
+            tails[j] = i
+            tail_values[j] = value
+    member = [False] * n
+    i = tails[-1]
+    while i != -1:
+        member[i] = True
+        i = parents[i]
+    return member
+
+
+def align(
+    records_a: Sequence[TraceRecord],
+    records_b: Sequence[TraceRecord],
+    meta_a: Optional[Dict[str, Any]] = None,
+    meta_b: Optional[Dict[str, Any]] = None,
+    structural_only: bool = False,
+) -> Alignment:
+    """Classify every record of two streams; see the module docstring.
+
+    ``structural_only`` compares keys only (is the protocol *shape*
+    identical?) and never reports value drift; the default also
+    compares every non-volatile field.
+    """
+    records_a = list(records_a)
+    records_b = list(records_b)
+    result = Alignment(n_a=len(records_a), n_b=len(records_b))
+
+    # differing sampling accounting => sampleable kinds are not
+    # comparable between the streams; align the skeleton only
+    sampled_a = _meta_int(meta_a, "sampled_out")
+    sampled_b = _meta_int(meta_b, "sampled_out")
+    if sampled_a != sampled_b:
+        kept_a = [r for r in records_a if protocol_critical(r.kind)]
+        kept_b = [r for r in records_b if protocol_critical(r.kind)]
+        result.excluded_sampleable = (
+            (len(records_a) - len(kept_a)) + (len(records_b) - len(kept_b))
+        )
+        result.notes.append(
+            f"sampling accounting differs (sampled_out {sampled_a} vs "
+            f"{sampled_b}); sampleable kinds excluded -- aligning the "
+            f"protocol-critical skeleton only"
+        )
+        records_a, records_b = kept_a, kept_b
+
+    dropped = bool(_meta_int(meta_a, "dropped")) \
+        or bool(_meta_int(meta_b, "dropped"))
+    keyed_a = key_records(records_a, reverse_occurrence=dropped)
+    keyed_b = key_records(records_b, reverse_occurrence=dropped)
+    if dropped:
+        result.notes.append(
+            "ring-buffer evictions present; per-key occurrence indices "
+            "counted from the stream end so surviving suffixes align"
+        )
+
+    by_key_a = {kr.key: kr for kr in keyed_a}
+    by_key_b = {kr.key: kr for kr in keyed_b}
+    horizon_a = _drop_horizon(meta_a)
+    horizon_b = _drop_horizon(meta_b)
+    divergences: List[Divergence] = []
+
+    def one_sided(kr: KeyedRecord, category: str, run: str,
+                  horizon: Optional[float]) -> None:
+        # a record the counterpart's ring buffer evicted is accounted
+        # for, not divergent
+        if horizon is not None and kr.record.time <= horizon + _EPS:
+            result.excused += 1
+            return
+        wrank, kind, epoch, occ = kr.key
+        where = f"rank {wrank}" if wrank is not None else "global"
+        epoch_txt = f" epoch {epoch:g}" if epoch is not None else ""
+        divergences.append(Divergence(
+            category=category,
+            layer=kr.layer,
+            key=kr.key,
+            time=kr.record.time,
+            summary=(f"{kind} ({where}{epoch_txt}, occurrence {occ}) "
+                     f"present only in run {run}"),
+            briefs=[f"{run}: {kr.record.brief()}"],
+        ))
+
+    matched_a: List[KeyedRecord] = []
+    for kr in keyed_a:
+        other = by_key_b.get(kr.key)
+        if other is None:
+            one_sided(kr, "missing", "A", horizon_b)
+            continue
+        if not structural_only and kr.canonical != other.canonical:
+            drifted = _drifted_fields(kr.record, other.record)
+            divergences.append(Divergence(
+                category="value",
+                layer=kr.layer,
+                key=kr.key,
+                time=min(kr.record.time, other.record.time),
+                summary=(f"{kr.kind} value drift on "
+                         f"{', '.join(drifted) or 'fields'} "
+                         f"(rank {kr.wrank}, occurrence {kr.occurrence})"),
+                briefs=[f"A: {kr.record.brief()}",
+                        f"B: {other.record.brief()}"],
+                fields=drifted,
+            ))
+            continue
+        matched_a.append(kr)
+        result.matched += 1
+    for kr in keyed_b:
+        if kr.key not in by_key_a:
+            one_sided(kr, "extra", "B", horizon_a)
+
+    # order check over the matched protocol anchors: a key off the
+    # longest common (increasing) order is genuinely displaced
+    anchors = [kr for kr in matched_a if kr.kind in ANCHOR_KINDS]
+    pos_b = {kr.key: i for i, kr in enumerate(keyed_b)}
+    membership = _lis_membership([pos_b[kr.key] for kr in anchors])
+    for kr, in_order in zip(anchors, membership):
+        if in_order:
+            continue
+        result.matched -= 1
+        other = by_key_b[kr.key]
+        divergences.append(Divergence(
+            category="reorder",
+            layer=kr.layer,
+            key=kr.key,
+            time=min(kr.record.time, other.record.time),
+            summary=(f"{kr.kind} (rank {kr.wrank}, occurrence "
+                     f"{kr.occurrence}) ordered differently among the "
+                     f"protocol anchors in run B"),
+            briefs=[f"A: {kr.record.brief()}", f"B: {other.record.brief()}"],
+        ))
+
+    divergences.sort(key=lambda d: (
+        d.time,
+        _LAYER_ORDER.index(d.layer) if d.layer in _LAYER_ORDER else 99,
+        CATEGORIES.index(d.category),
+    ))
+    result.divergences = divergences
+    return result
+
+
+def _drifted_fields(a: TraceRecord, b: TraceRecord) -> List[str]:
+    from repro.align.keying import VOLATILE_FIELDS
+
+    names: List[str] = []
+    if a.source != b.source:
+        names.append("source")
+    for name in sorted(set(a.fields) | set(b.fields)):
+        if name in VOLATILE_FIELDS:
+            continue
+        va, vb = a.fields.get(name), b.fields.get(name)
+        if isinstance(va, tuple):
+            va = list(va)
+        if isinstance(vb, tuple):
+            vb = list(vb)
+        if va != vb:
+            names.append(name)
+    return names
+
+
+# -- first-divergence root-causing ---------------------------------------
+
+
+#: kinds ending a recovery, mirrored from repro.monitor.explain
+_KILL_KINDS = ("rank_killed", "rank_crashed")
+_REENTRY_KINDS = ("kr_region_commit", "checkpoint", "imr_store")
+
+#: recovery-path stages in protocol order, each the trace-level
+#: equivalent of a repro.profile critical-path segment
+_RECOVERY_STAGES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("ulfm", ("detect", "revoke")),
+    ("fenix", ("repair", "shrink", "abort", "role")),
+    ("veloc", ("recover", "imr_restore")),
+    ("kr", _REENTRY_KINDS),
+)
+
+
+def recovery_breakdown(records: Sequence[TraceRecord]) -> Dict[str, float]:
+    """Per-layer recovery time after the first kill (empty = no kill).
+
+    Walks the protocol spine kill -> detect/revoke -> repair ->
+    recover -> re-entry and charges each inter-stage gap to the stage's
+    layer, plus ``total`` (the recovery latency the live layer tracks).
+    """
+    kill = next((r for r in records if r.kind in _KILL_KINDS), None)
+    if kill is None:
+        return {}
+    out: Dict[str, float] = {}
+    cursor = kill.time
+    tail = [r for r in records if r.time >= kill.time]
+    for layer, kinds in _RECOVERY_STAGES:
+        hit = next(
+            (r for r in tail if r.kind in kinds and r.time >= cursor), None
+        )
+        if hit is None:
+            continue
+        out[layer] = out.get(layer, 0.0) + (hit.time - cursor)
+        cursor = hit.time
+    out["total"] = cursor - kill.time
+    return out
+
+
+def _context_briefs(
+    records: Sequence[TraceRecord],
+    at: float,
+    before: int = 3,
+    after: int = 2,
+) -> List[str]:
+    """Protocol-critical briefs around simulated time ``at``."""
+    spine = [r for r in records if protocol_critical(r.kind)]
+    idx = bisect.bisect_left([r.time for r in spine], at)
+    lo = max(0, idx - before)
+    hi = min(len(spine), idx + after + 1)
+    return [r.brief() for r in spine[lo:hi]]
+
+
+def first_divergence_report(
+    alignment: Alignment,
+    records_a: Sequence[TraceRecord],
+    records_b: Sequence[TraceRecord],
+) -> Dict[str, Any]:
+    """JSON-ready root-cause report for the earliest divergence.
+
+    Carries the divergence itself (layer-attributed, with its own
+    briefs), the causal context briefs from both runs around the
+    divergence time, and the downstream deltas: wall time, recovery
+    latency, and the per-layer recovery path.
+    """
+    records_a = list(records_a)
+    records_b = list(records_b)
+    out: Dict[str, Any] = alignment.to_dict()
+    wall_a = records_a[-1].time if records_a else 0.0
+    wall_b = records_b[-1].time if records_b else 0.0
+    path_a = recovery_breakdown(records_a)
+    path_b = recovery_breakdown(records_b)
+    layers = sorted(set(path_a) | set(path_b))
+    out["downstream"] = {
+        "wall_time": {
+            "a": wall_a, "b": wall_b, "delta": wall_b - wall_a,
+        },
+        "recovery_latency": {
+            "a": path_a.get("total"),
+            "b": path_b.get("total"),
+            "delta": (
+                path_b["total"] - path_a["total"]
+                if "total" in path_a and "total" in path_b else None
+            ),
+        },
+        "recovery_path": {
+            layer: {
+                "a": path_a.get(layer),
+                "b": path_b.get(layer),
+                "delta": (
+                    path_b[layer] - path_a[layer]
+                    if layer in path_a and layer in path_b else None
+                ),
+            }
+            for layer in layers if layer != "total"
+        },
+    }
+    first = alignment.first
+    if first is not None:
+        entry = first.to_dict()
+        entry["context_a"] = _context_briefs(records_a, first.time)
+        entry["context_b"] = _context_briefs(records_b, first.time)
+        out["first"] = entry
+    else:
+        out["first"] = None
+    return out
+
+
+def audit_traces(trace_a: Any, trace_b: Any) -> List[Dict[str, Any]]:
+    """Align two live :class:`~repro.sim.trace.Trace` objects; returns
+    JSON-ready divergence dicts (the ``RunReport.divergences`` payload).
+
+    The metas are taken from the traces' own drop/sampling accounting,
+    so a sampled or ring-buffered recording audits against an unsampled
+    replay on the protocol-critical skeleton, never on records one side
+    was configured not to keep.
+    """
+    from repro.monitor.trace_io import trace_meta
+
+    alignment = align(
+        list(trace_a), list(trace_b),
+        meta_a=trace_meta(trace_a), meta_b=trace_meta(trace_b),
+    )
+    return [d.to_dict() for d in alignment.divergences]

@@ -1,0 +1,234 @@
+"""Canonical logical keys for flight-recorder records.
+
+Two traces of the same cell cannot be compared positionally (sequence
+numbers shift the moment one extra record exists) or by timestamp (a
+recovery that takes 0.1 s longer moves every later time).  Instead each
+record is named by a *logical key*::
+
+    (wrank, kind, epoch, occurrence)
+
+- ``wrank`` -- the world rank the record belongs to: an explicit
+  ``rank`` field when the record carries one, else the ``rankN`` suffix
+  of per-rank sources (``veloc.rank3``, ``kr.rank0``, ``imr.rank2``),
+  else the ``spare``/``member`` field, else None for global records
+  (communicator events, server-side flushes);
+- ``epoch`` -- the protocol epoch: Fenix ``generation``, else checkpoint
+  ``version``, else application ``iteration``; None when the record has
+  no epoch notion;
+- ``occurrence`` -- the per-(wrank, kind, epoch) sequence index in
+  stream order, which is what makes repeats (a recomputed region, a
+  second kill of the same rank) individually addressable.
+
+Values are compared through :func:`canonical_fields`: the source plus
+every field *except* the :data:`VOLATILE_FIELDS` -- measurements that
+legitimately differ between structurally identical runs.
+
+The sampleable-exempt contract is shared with
+:mod:`repro.telemetry.sampling`: :func:`protocol_critical` is exactly
+"the sampler may never drop this kind", so the skeleton
+:mod:`repro.align.engine` aligns on is, by construction, the set of
+records that survive any sampling policy.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.trace import TraceRecord
+from repro.telemetry.sampling import record_sampleable
+
+#: record fields excluded from value comparison: host-ish measurements
+#: and queue depths that may differ between structurally identical runs
+#: (``seconds`` is a modelled duration -- it shifts whenever an earlier
+#: divergence changes contention, which the alignment reports through
+#: the diverging record itself, not through every downstream timing)
+VOLATILE_FIELDS = frozenset({"seconds", "backlog", "eta_s"})
+
+#: protocol-critical kinds the alignment engine anchors on for order
+#: checks: the failure/recovery protocol spine (kills, ULFM collectives,
+#: Fenix repair steps, data-path restore points)
+ANCHOR_KINDS = frozenset({
+    "rank_killed",
+    "rank_crashed",
+    "rank_dead",
+    "detect",
+    "revoke",
+    "shrink",
+    "agree",
+    "repair",
+    "abort",
+    "gate_arrive",
+    "role",
+    "spare_activated",
+    "checkpoint",
+    "recover",
+    "imr_restore",
+})
+
+#: process layer: rank lifecycle (kills, crashes, exits) -- what the
+#: failure plan injects and mpirun/Fenix observe
+_PROCESS_KINDS = frozenset({
+    "rank_exit", "rank_killed", "rank_crashed", "rank_dead",
+})
+
+#: ULFM layer: communicator-level fault-tolerance collectives (detect is
+#: charged to ULFM like the profile critical path does)
+_ULFM_KINDS = frozenset({"comm_create", "revoke", "agree", "shrink", "detect"})
+
+#: Fenix layer kinds (when emitted by the "fenix" source; ``agree`` and
+#: ``shrink`` exist at both the MPI-comm and Fenix levels)
+_FENIX_KINDS = frozenset({
+    "gate_arrive", "spare_activated", "abort", "repair", "role",
+    "finalize_arrive", "agree", "shrink",
+})
+
+#: VeloC / data layer: checkpoint clients, flush servers, IMR buddies
+_VELOC_KINDS = frozenset({
+    "checkpoint", "recover", "flush_submit", "flush_done", "drain_done",
+})
+
+_RANK_SOURCE = re.compile(r"\.rank(\d+)$")
+
+
+def layer_of(rec: TraceRecord) -> str:
+    """Resiliency-layer attribution of one record.
+
+    The vocabulary matches :mod:`repro.profile`'s critical-path edges:
+    ``process`` (rank lifecycle), ``ulfm``, ``fenix``, ``kr``,
+    ``veloc``, ``recompute``, ``app``.
+    """
+    kind = rec.kind
+    if kind in _PROCESS_KINDS:
+        return "process"
+    if kind == "detect":
+        return "ulfm"
+    if rec.source == "fenix":
+        return "fenix"
+    if kind in _ULFM_KINDS:
+        return "ulfm"
+    if kind.startswith("kr_"):
+        return "kr"
+    if kind in _VELOC_KINDS or kind.startswith("imr_"):
+        return "veloc"
+    if kind == "recompute" or kind.startswith("recompute"):
+        return "recompute"
+    return "app"
+
+
+def protocol_critical(kind: str) -> bool:
+    """True for kinds the sampler may never drop -- the skeleton.
+
+    This *is* the shared contract with :mod:`repro.telemetry.sampling`:
+    default-deny means every kind is protocol-critical unless someone
+    explicitly proved it sampleable, so the skeleton two traces must
+    agree on is exactly the records guaranteed to exist under any
+    :class:`~repro.telemetry.sampling.SamplingPolicy`.
+    """
+    return not record_sampleable(kind)
+
+
+def record_wrank(rec: TraceRecord) -> Optional[int]:
+    """World rank a record belongs to, or None for global records."""
+    value = rec.fields.get("rank")
+    if isinstance(value, int):
+        return value
+    match = _RANK_SOURCE.search(rec.source)
+    if match:
+        return int(match.group(1))
+    for name in ("spare", "member"):
+        value = rec.fields.get(name)
+        if isinstance(value, int):
+            return value
+    return None
+
+
+def record_epoch(rec: TraceRecord) -> Optional[float]:
+    """Protocol epoch: generation, else version, else iteration."""
+    for name in ("generation", "version", "iteration"):
+        value = rec.fields.get(name)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return value
+    return None
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (set, frozenset, tuple)):
+        return list(value)
+    return repr(value)
+
+
+def canonical_fields(rec: TraceRecord) -> str:
+    """Order-independent JSON of the record's comparable identity:
+    source + every non-volatile field (tuples collapse to lists, so a
+    replayed trace canonicalizes identically to a live one)."""
+    payload: Dict[str, Any] = {"source": rec.source}
+    for name, value in rec.fields.items():
+        if name in VOLATILE_FIELDS:
+            continue
+        payload[name] = value
+    return json.dumps(payload, sort_keys=True, default=_jsonable)
+
+
+@dataclass(frozen=True)
+class KeyedRecord:
+    """One record plus its logical key, layer, and canonical value."""
+
+    key: Tuple[Optional[int], str, Optional[float], int]
+    record: TraceRecord
+    layer: str
+    canonical: str
+
+    @property
+    def wrank(self) -> Optional[int]:
+        return self.key[0]
+
+    @property
+    def kind(self) -> str:
+        return self.key[1]
+
+    @property
+    def epoch(self) -> Optional[float]:
+        return self.key[2]
+
+    @property
+    def occurrence(self) -> int:
+        return self.key[3]
+
+
+def key_records(
+    records: Sequence[TraceRecord],
+    reverse_occurrence: bool = False,
+) -> List[KeyedRecord]:
+    """Assign logical keys to a record stream, in order.
+
+    ``reverse_occurrence`` counts the per-key sequence index from the
+    *end* of the stream instead of the start.  A ring buffer evicts the
+    oldest records, so the surviving stream is a suffix; counting from
+    the end keeps the suffixes of two traces aligned even when one lost
+    a prefix (the evicted keys then surface as high-occurrence missing
+    records inside the drop window, which the engine excuses).
+    """
+    bases = [
+        (record_wrank(rec), rec.kind, record_epoch(rec)) for rec in records
+    ]
+    counts: Dict[Tuple, int] = {}
+    if reverse_occurrence:
+        for base in bases:
+            counts[base] = counts.get(base, 0) + 1
+    seen: Dict[Tuple, int] = {}
+    out: List[KeyedRecord] = []
+    for rec, base in zip(records, bases):
+        index = seen.get(base, 0)
+        seen[base] = index + 1
+        occurrence = (counts[base] - 1 - index) if reverse_occurrence \
+            else index
+        out.append(KeyedRecord(
+            key=(base[0], base[1], base[2], occurrence),
+            record=rec,
+            layer=layer_of(rec),
+            canonical=canonical_fields(rec),
+        ))
+    return out

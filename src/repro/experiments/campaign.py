@@ -90,6 +90,7 @@ def run_campaign(
     progress: Optional[CampaignProgress] = None,
     rules: Optional[str] = None,
     sampling: Optional["SamplingPolicy"] = None,
+    determinism_audit: bool = False,
 ) -> CampaignStudy:
     """Run the campaign; by default the MTBF is chosen so a handful of
     failures strike during the job.
@@ -118,6 +119,7 @@ def run_campaign(
             trace_max_records=trace_max_records,
             sampling=sampling,
             rules=rules,
+            determinism_audit=determinism_audit,
             label=strategy,
         )
 
@@ -164,6 +166,7 @@ def run_campaign_grid(
     trace_max_records: Optional[int] = DEFAULT_TRACE_MAX_RECORDS,
     rules: Optional[str] = None,
     sampling: Optional["SamplingPolicy"] = None,
+    determinism_audit: bool = False,
 ):
     """The cross-run campaign: (strategy x scale x seed) under random
     failures, folded into a :class:`~repro.report.CampaignLedger`.
@@ -199,6 +202,7 @@ def run_campaign_grid(
             trace_max_records=trace_max_records,
             sampling=sampling,
             rules=rules,
+            determinism_audit=determinism_audit,
             label=label,
         )
 

@@ -15,6 +15,7 @@ Reproduces the paper's measurement methodology (Section VI-C):
 
 from __future__ import annotations
 
+import copy
 import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional
@@ -131,6 +132,10 @@ class RunReport:
     #: non-fatal observability problems surfaced to the caller (e.g. a
     #: trace listener that raised and was isolated)
     warnings: List[str] = field(default_factory=list)
+    #: determinism-audit findings (repro.align divergence dicts between
+    #: the run and its seeded replay); empty when the audit was off or
+    #: the replay aligned record-for-record
+    divergences: List[Dict] = field(default_factory=list)
 
     @property
     def accounted(self) -> float:
@@ -190,6 +195,7 @@ class JobRunner:
         rules: "Optional[RuleSet | str]" = None,
         strict_slo: Optional[bool] = None,
         trace_sink: Optional[Any] = None,
+        capture_trace: bool = False,
     ) -> None:
         self.env = env
         self.strategy = strategy
@@ -232,6 +238,7 @@ class JobRunner:
             (telemetry is not None and telemetry.enabled)
             or self.monitor is not None
             or self.rules is not None
+            or capture_trace
         ) else None
         self.trace = trace
         self.cluster = Cluster(env.cluster_spec, trace=trace,
@@ -474,6 +481,43 @@ class JobRunner:
             raise exc
 
 
+def _run_with_replay_audit(
+    make_runner: Callable[[FailurePlan, bool, bool], JobRunner],
+    plan: FailurePlan,
+    determinism_audit: bool,
+) -> RunReport:
+    """Run a job; with the audit on, replay it and align the traces.
+
+    ``make_runner(plan, observed, capture)`` builds a fresh runner:
+    ``observed`` carries the caller's telemetry/monitor/rules/sinks
+    (True for the primary run only -- the replay must not double-feed
+    the caller's observers), ``capture`` forces trace recording.  The
+    failure plan is deep-copied *before* the primary run because live
+    plans are stateful; both executions therefore see identical
+    injection schedules, which is what makes zero divergences the
+    correct expectation for a deterministic simulator.
+    """
+    if not determinism_audit:
+        return make_runner(plan, True, False).run()
+    replay_plan = copy.deepcopy(plan)
+    primary = make_runner(plan, True, True)
+    report = primary.run()
+    replay = make_runner(replay_plan, False, True)
+    replay.run()
+    # lazy import: repro.align consumes traces, the harness only hands
+    # them over, so the package import graph stays acyclic
+    from repro.align.engine import audit_traces
+
+    report.divergences = audit_traces(primary.trace, replay.trace)
+    if report.divergences:
+        report.warnings.append(
+            f"determinism audit: {len(report.divergences)} divergence(s) "
+            f"between the run and its seeded replay (first: "
+            f"{report.divergences[0]['summary']}); see repro.align"
+        )
+    return report
+
+
 # -- application-specific front doors ---------------------------------------------
 
 
@@ -517,8 +561,14 @@ def run_heatdis_job(
     rules: "Optional[RuleSet | str]" = None,
     strict_slo: Optional[bool] = None,
     trace_sink: Optional[Any] = None,
+    determinism_audit: bool = False,
 ) -> RunReport:
-    """Run one Heatdis job under a strategy; returns the report."""
+    """Run one Heatdis job under a strategy; returns the report.
+
+    ``determinism_audit=True`` records the run's trace, replays the
+    identical spec, aligns both traces (:mod:`repro.align`), and
+    attaches the divergences to ``RunReport.divergences``.
+    """
     strategy = STRATEGIES[strategy_name]
     plan = plan if plan is not None else NoFailures()
 
@@ -550,13 +600,21 @@ def run_heatdis_job(
             dedup=env.veloc_dedup,
         )
 
-    runner = JobRunner(env, strategy, n_ranks, plan, build_main, "heatdis",
-                       telemetry=telemetry,
-                       trace_max_records=trace_max_records,
-                       strict_monitor=strict_monitor, monitor=monitor,
-                       profile=profile, rules=rules, strict_slo=strict_slo,
-                       trace_sink=trace_sink)
-    return runner.run()
+    def make_runner(plan_: FailurePlan, observed: bool,
+                    capture: bool) -> JobRunner:
+        return JobRunner(env, strategy, n_ranks, plan_, build_main,
+                         "heatdis",
+                         telemetry=telemetry if observed else None,
+                         trace_max_records=trace_max_records,
+                         strict_monitor=strict_monitor if observed else False,
+                         monitor=monitor if observed else None,
+                         profile=profile if observed else False,
+                         rules=rules if observed else None,
+                         strict_slo=strict_slo if observed else False,
+                         trace_sink=trace_sink if observed else None,
+                         capture_trace=capture)
+
+    return _run_with_replay_audit(make_runner, plan, determinism_audit)
 
 
 def run_heatdis2d_job(
@@ -574,6 +632,7 @@ def run_heatdis2d_job(
     rules: "Optional[RuleSet | str]" = None,
     strict_slo: Optional[bool] = None,
     trace_sink: Optional[Any] = None,
+    determinism_audit: bool = False,
 ) -> RunReport:
     """Run one 2-D-decomposed Heatdis job under a strategy."""
     strategy = STRATEGIES[strategy_name]
@@ -592,13 +651,21 @@ def run_heatdis2d_job(
             cfg, make_kr, failure_plan=plan, results=results, tracker=tracker
         )
 
-    runner = JobRunner(env, strategy, n_ranks, plan, build_main, "heatdis2d",
-                       telemetry=telemetry,
-                       trace_max_records=trace_max_records,
-                       strict_monitor=strict_monitor, monitor=monitor,
-                       profile=profile, rules=rules, strict_slo=strict_slo,
-                       trace_sink=trace_sink)
-    return runner.run()
+    def make_runner(plan_: FailurePlan, observed: bool,
+                    capture: bool) -> JobRunner:
+        return JobRunner(env, strategy, n_ranks, plan_, build_main,
+                         "heatdis2d",
+                         telemetry=telemetry if observed else None,
+                         trace_max_records=trace_max_records,
+                         strict_monitor=strict_monitor if observed else False,
+                         monitor=monitor if observed else None,
+                         profile=profile if observed else False,
+                         rules=rules if observed else None,
+                         strict_slo=strict_slo if observed else False,
+                         trace_sink=trace_sink if observed else None,
+                         capture_trace=capture)
+
+    return _run_with_replay_audit(make_runner, plan, determinism_audit)
 
 
 def run_minimd_job(
@@ -616,6 +683,7 @@ def run_minimd_job(
     rules: "Optional[RuleSet | str]" = None,
     strict_slo: Optional[bool] = None,
     trace_sink: Optional[Any] = None,
+    determinism_audit: bool = False,
 ) -> RunReport:
     """Run one MiniMD job under a strategy; returns the report."""
     strategy = STRATEGIES[strategy_name]
@@ -632,10 +700,18 @@ def run_minimd_job(
             cfg, make_kr, failure_plan=plan, results=results, tracker=tracker
         )
 
-    runner = JobRunner(env, strategy, n_ranks, plan, build_main, "minimd",
-                       telemetry=telemetry,
-                       trace_max_records=trace_max_records,
-                       strict_monitor=strict_monitor, monitor=monitor,
-                       profile=profile, rules=rules, strict_slo=strict_slo,
-                       trace_sink=trace_sink)
-    return runner.run()
+    def make_runner(plan_: FailurePlan, observed: bool,
+                    capture: bool) -> JobRunner:
+        return JobRunner(env, strategy, n_ranks, plan_, build_main,
+                         "minimd",
+                         telemetry=telemetry if observed else None,
+                         trace_max_records=trace_max_records,
+                         strict_monitor=strict_monitor if observed else False,
+                         monitor=monitor if observed else None,
+                         profile=profile if observed else False,
+                         rules=rules if observed else None,
+                         strict_slo=strict_slo if observed else False,
+                         trace_sink=trace_sink if observed else None,
+                         capture_trace=capture)
+
+    return _run_with_replay_audit(make_runner, plan, determinism_audit)

@@ -44,6 +44,7 @@ from repro.live.rules import LiveSession, RuleSet, load_rules
 from repro.report.compare import EXIT_BAD_INPUT, EXIT_OK, EXIT_REGRESSION
 from repro.sim.trace import TraceRecord
 from repro.util.errors import ReproError
+from repro.util.schema import warn_on_mismatch
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -125,11 +126,25 @@ class _TailState:
             self.mode = "progress" if "event" in obj else "trace"
         if self.mode == "progress":
             if "event" in obj:
+                if obj.get("event") == "campaign_start":
+                    from repro.parallel.progress import PROGRESS_SCHEMA
+
+                    warn_on_mismatch(
+                        "progress stream", PROGRESS_SCHEMA,
+                        found_schema=obj.get("schema"),
+                        found_version=obj.get("repro_version"))
                 self.view.feed(obj)
                 self.dirty = True
             return
         if "meta" in obj:
-            self.meta.update(obj["meta"] or {})
+            meta = obj["meta"] or {}
+            from repro.monitor.trace_io import FORMAT_VERSION
+
+            warn_on_mismatch(
+                "trace stream", FORMAT_VERSION,
+                found_schema=meta.get("schema", meta.get("version")),
+                found_version=meta.get("repro_version"))
+            self.meta.update(meta)
             self.dirty = True
             return
         try:
@@ -215,20 +230,40 @@ def _check(args: argparse.Namespace) -> int:
         print(f"cannot check: {exc}", file=sys.stderr)
         return EXIT_BAD_INPUT
     session = LiveSession(rules=rules, window_s=args.window)
-    session.replay(records)
-    alerts = session.finish()
+    # an empty trace has nothing to evaluate: "no complete windows" is a
+    # report, not an SLO pass or failure, so it exits clean.  A trace
+    # shorter than the smallest rule window still gets the end-of-stream
+    # evaluation (an alert over a partial window is real evidence), but
+    # a silent pass on one is labelled for what it is.
+    min_window = min((r.window_s for r in rules), default=0.0)
+    span = records[-1].time - records[0].time if records else 0.0
+    complete_windows = bool(records) and span >= min_window
+    if records:
+        session.replay(records)
+        alerts = session.finish()
+    else:
+        alerts = []
     if args.json:
         print(json.dumps({
             "trace": args.trace,
             "rules": args.rules,
             "records": len(records),
             "meta": meta,
+            "complete_windows": complete_windows,
             "alerts": [a.to_dict() for a in alerts],
             "snapshot": session.aggregator.snapshot(),
         }, indent=1, sort_keys=True))
     else:
         print(f"{args.trace}: {len(records)} records, "
               f"{len(rules)} rule(s), {len(alerts)} alert(s)")
+        if not records:
+            print("  no complete windows: the trace is empty; "
+                  "nothing to evaluate")
+        elif not complete_windows and not alerts:
+            print(f"  no complete windows: trace spans {span:.6g}s, "
+                  f"shorter than the smallest rule window "
+                  f"({min_window:.6g}s); clean, but on partial "
+                  f"evidence")
         for alert in alerts:
             print("  " + alert.render())
             for brief in alert.records:

@@ -24,6 +24,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.sim.trace import Trace, TraceRecord
 from repro.util.errors import ConfigError
+from repro.util.schema import stamp, warn_on_mismatch
 
 FORMAT_VERSION = 1
 
@@ -44,23 +45,25 @@ def _json_default(value: Any) -> Any:
     return repr(value)
 
 
-def _trace_meta(trace: Trace) -> Dict[str, Any]:
+def trace_meta(trace: Trace) -> Dict[str, Any]:
+    """The meta-header payload: schema/version stamp + drop accounting
+    (also the meta :mod:`repro.align` reads to excuse accounted gaps)."""
     sampled_window = getattr(trace, "sampled_window", None)
-    return {
+    return stamp({
         "version": FORMAT_VERSION,
         "dropped": trace.dropped,
         "dropped_window": list(trace.dropped_window)
         if trace.dropped_window else None,
         "sampled_out": getattr(trace, "sampled_out", 0),
         "sampled_window": list(sampled_window) if sampled_window else None,
-    }
+    }, FORMAT_VERSION)
 
 
 def write_trace(path: str, trace: Trace) -> int:
     """Write every held record (plus the drop header); returns the count."""
     n = 0
     with open(path, "w", encoding="utf-8") as fh:
-        fh.write(json.dumps({"meta": _trace_meta(trace)},
+        fh.write(json.dumps({"meta": trace_meta(trace)},
                             default=_json_default) + "\n")
         for rec in trace:
             fh.write(json.dumps(_record_to_obj(rec), default=_json_default)
@@ -106,6 +109,11 @@ def read_trace(path: str) -> Tuple[List[TraceRecord], Dict[str, Any]]:
                 raise ConfigError(
                     f"{path}:{lineno}: malformed trace record ({exc})"
                 ) from exc
+    warn_on_mismatch(
+        f"trace {path}", FORMAT_VERSION,
+        found_schema=meta.get("schema", meta.get("version")),
+        found_version=meta.get("repro_version"),
+    )
     return records, meta
 
 
@@ -144,7 +152,8 @@ class JsonlTraceSink:
         self._trace: Optional[Trace] = None
         self._fh: Optional[Any] = open(path, "w", encoding="utf-8")
         self._fh.write(json.dumps(
-            {"meta": {"version": FORMAT_VERSION, "streaming": True}},
+            {"meta": stamp({"version": FORMAT_VERSION, "streaming": True},
+                           FORMAT_VERSION)},
             default=_json_default) + "\n")
         self._fh.flush()
         if trace is not None:
@@ -170,7 +179,7 @@ class JsonlTraceSink:
             return
         if self._trace is not None:
             self._trace.unsubscribe(self)
-            self._fh.write(json.dumps({"meta": _trace_meta(self._trace)},
+            self._fh.write(json.dumps({"meta": trace_meta(self._trace)},
                                       default=_json_default) + "\n")
             self._trace = None
         self._fh.close()

@@ -82,6 +82,7 @@ def _report_to_entry(report: RunReport) -> dict:
         "buckets": dict(report.buckets),
         "platform": dict(report.platform),
         "telemetry": report.telemetry,
+        "divergences": list(report.divergences),
     }
 
 
@@ -97,6 +98,7 @@ def _report_from_entry(entry: dict) -> RunReport:
         results={},
         platform=dict(entry["platform"]),
         telemetry=entry["telemetry"],
+        divergences=list(entry.get("divergences", [])),
     )
 
 

@@ -39,6 +39,8 @@ import sys
 import time
 from typing import Any, Dict, IO, List, Optional
 
+from repro.util.schema import stamp
+
 #: JSONL event-stream schema version
 PROGRESS_SCHEMA = 1
 
@@ -159,12 +161,11 @@ class CampaignProgress:
         self.total += n
         if not self._started:
             self._started = True
-            self._emit({
+            self._emit(stamp({
                 "event": "campaign_start",
-                "schema": PROGRESS_SCHEMA,
                 "total": self.total,
                 "jobs": self.jobs,
-            })
+            }, PROGRESS_SCHEMA))
 
     def cell_submitted(self) -> None:
         self.in_flight += 1

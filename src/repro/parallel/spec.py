@@ -163,6 +163,9 @@ class CellSpec:
     #: path to an SLO rules file evaluated live during the run; fired
     #: alerts land in ``RunReport.alerts``
     rules: Optional[str] = None
+    #: run the cell twice from identical seeds and align the traces;
+    #: divergences land in ``RunReport.divergences`` (see repro.align)
+    determinism_audit: bool = False
     #: free-form tag for reassembling sweep results; not part of the
     #: cache identity
     label: str = ""
@@ -230,6 +233,7 @@ def execute_cell(spec: CellSpec) -> CellResult:
         telemetry=telemetry,
         trace_max_records=spec.trace_max_records,
         rules=spec.rules,
+        determinism_audit=spec.determinism_audit,
     )
     host_seconds = time.perf_counter() - t0
     RUNS_EXECUTED += 1

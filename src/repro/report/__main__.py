@@ -89,6 +89,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="skip the per-strategy instrumented exemplar "
                           "runs (faster; report loses the embedded "
                           "timeline/flame sections)")
+    run.add_argument("--determinism-audit", action="store_true",
+                     help="run every cell twice from identical seeds and "
+                          "align the traces (repro.align); divergent "
+                          "cells are flagged on the scorecard")
     run.add_argument("--bench", default="BENCH_simulator.json",
                      help="pytest-benchmark baseline for host-cost "
                           "anomaly flags ('' disables)")
@@ -163,6 +167,7 @@ def _run(args: argparse.Namespace) -> int:
         scales=scales, seeds=seeds, strategies=strategies,
         n_iters=args.iters, max_failures=args.max_failures,
         jobs=args.jobs, cache=cache, progress=progress,
+        determinism_audit=args.determinism_audit,
     )
     if progress is not None:
         progress.finish()

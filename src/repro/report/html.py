@@ -83,6 +83,11 @@ th:first-child, td:first-child { text-align: left; }
   border-radius: 2px; margin-right: .45em; vertical-align: baseline;
 }
 .flag { color: var(--text-secondary); }
+.badge-diverged {
+  display: inline-block; padding: 0 .45em; border-radius: 999px;
+  background: light-dark(#e34948, #e66767); color: #fff;
+  font-size: .8rem; font-weight: 600;
+}
 .flags li { margin: .25rem 0; }
 details { margin: .8rem 0; }
 details pre {
@@ -227,6 +232,8 @@ def _tiles(ledger: Any, scorecard: Dict[str, Any]) -> str:
                      for e in scorecard["strategies"].values())
     total_alerts = sum(e.get("total_alerts", 0)
                        for e in scorecard["strategies"].values())
+    divergent = sum(1 for r in ledger.runs
+                    if getattr(r, "divergences", 0) > 0)
     tiles = [
         ("runs", ledger.cells()),
         ("strategies", len(ledger.strategies)),
@@ -236,6 +243,7 @@ def _tiles(ledger: Any, scorecard: Dict[str, Any]) -> str:
         ("simulated", prog.get("cache_misses", ledger.cells())),
         ("violations", total_viol),
         ("SLO alerts", total_alerts),
+        ("divergent cells", divergent),
         ("anomaly flags", len(scorecard.get("flags", []))),
     ]
     cells = "".join(
@@ -299,6 +307,12 @@ def _runs_table(ledger: Any) -> str:
         ideal = ledger.ideal.get(r.n_ranks)
         over = (f"{r.overhead_pct(ideal):.1f}%"
                 if ideal and r.strategy != "none" else "&ndash;")
+        div = getattr(r, "divergences", 0)
+        div_cell = (
+            f'<span class="badge-diverged" title="diverged from its '
+            f'seeded replay; see repro.align">{div}</span>'
+            if div > 0 else "0"
+        )
         rows.append(
             "<tr>"
             f"<td>{esc(r.label)}</td><td>{esc(r.strategy)}</td>"
@@ -306,6 +320,7 @@ def _runs_table(ledger: Any) -> str:
             f"<td>{r.wall_time:.3f}</td><td>{over}</td>"
             f"<td>{r.attempts}</td><td>{r.failures}</td>"
             f"<td>{r.violations}</td><td>{r.alerts}</td>"
+            f"<td>{div_cell}</td>"
             f"<td>{'cache' if r.cached else 'sim'}</td>"
             "</tr>"
         )
@@ -315,7 +330,7 @@ def _runs_table(ledger: Any) -> str:
         "<th>cell</th><th>strategy</th><th>ranks</th><th>seed</th>"
         "<th>wall (s)</th><th>overhead</th><th>attempts</th>"
         "<th>failures</th><th>violations</th><th>alerts</th>"
-        "<th>from</th>"
+        "<th>divergences</th><th>from</th>"
         "</tr></thead><tbody>" + "".join(rows)
         + "</tbody></table></details>"
     )
@@ -350,8 +365,8 @@ def _flags(scorecard: Dict[str, Any]) -> str:
     flags = scorecard.get("flags", [])
     if not flags:
         return ("<h2>Anomalies</h2><p class=\"sub\">No outliers, host "
-                "anomalies, invariant violations, or SLO alerts "
-                "flagged.</p>")
+                "anomalies, invariant violations, SLO alerts, or "
+                "determinism divergences flagged.</p>")
     items = "".join(f"<li>&#9888;&#65039; {esc(f)}</li>" for f in flags)
     return f'<h2>Anomalies</h2><ul class="flags">{items}</ul>'
 

@@ -46,6 +46,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.report import stats
 from repro.report.compare import Delta
+from repro.util.schema import stamp, warn_on_mismatch
 
 #: ledger / scorecard JSON schema version
 LEDGER_SCHEMA = 1
@@ -100,6 +101,10 @@ class RunRecord:
     #: SLO alerts the live rules engine fired during this run (0 when
     #: the run carried no rules file)
     alerts: int = 0
+    #: determinism-audit divergences between the run and its seeded
+    #: replay (0 when the audit was off or the replay aligned exactly;
+    #: see repro.align)
+    divergences: int = 0
     cached: bool = False
     host_seconds: float = 0.0
     #: iterations/steps the cell simulated (for host-cost normalization;
@@ -143,6 +148,7 @@ class RunRecord:
             "buckets": dict(self.buckets),
             "violations": self.violations,
             "alerts": self.alerts,
+            "divergences": self.divergences,
             "cached": self.cached,
             "host_seconds": self.host_seconds,
             "n_iters": self.n_iters,
@@ -163,6 +169,7 @@ class RunRecord:
             buckets=dict(doc.get("buckets", {})),
             violations=doc.get("violations", 0),
             alerts=doc.get("alerts", 0),
+            divergences=doc.get("divergences", 0),
             cached=doc.get("cached", False),
             host_seconds=doc.get("host_seconds", 0.0),
             n_iters=doc.get("n_iters", 0),
@@ -187,6 +194,7 @@ class RunRecord:
             buckets=dict(report.buckets),
             violations=len(report.violations),
             alerts=len(getattr(report, "alerts", []) or []),
+            divergences=len(getattr(report, "divergences", []) or []),
             cached=result.cached,
             host_seconds=result.host_seconds,
             n_iters=n_iters,
@@ -258,14 +266,13 @@ class CampaignLedger:
     # -- serialization --------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
-            "schema": LEDGER_SCHEMA,
+        return stamp({
             "meta": dict(self.meta),
             "ideal": {str(k): v for k, v in sorted(self.ideal.items())},
             "runs": [r.to_dict() for r in self.runs],
             "exemplars": {k: dict(v) for k, v in self.exemplars.items()},
             "progress": dict(self.progress),
-        }
+        }, LEDGER_SCHEMA)
 
     @classmethod
     def from_dict(cls, doc: Dict[str, Any]) -> "CampaignLedger":
@@ -274,6 +281,8 @@ class CampaignLedger:
                 f"unsupported ledger schema {doc.get('schema')!r} "
                 f"(this build reads {LEDGER_SCHEMA})"
             )
+        warn_on_mismatch("campaign ledger", LEDGER_SCHEMA,
+                         found_version=doc.get("repro_version"))
         return cls(
             meta=dict(doc.get("meta", {})),
             ideal={int(k): float(v)
@@ -327,6 +336,7 @@ def build_scorecard(ledger: CampaignLedger) -> Dict[str, Any]:
             "total_failures": sum(r.failures for r in runs),
             "total_violations": sum(r.violations for r in runs),
             "total_alerts": sum(r.alerts for r in runs),
+            "divergent_cells": sum(1 for r in runs if r.divergences > 0),
             "scales": sorted({r.n_ranks for r in runs}),
             "metrics": {
                 "efficiency": stats.summarize(eff),
@@ -339,11 +349,10 @@ def build_scorecard(ledger: CampaignLedger) -> Dict[str, Any]:
                 "dedup_ratio": stats.summarize(dedup_ratios),
             },
         }
-    return {
-        "schema": LEDGER_SCHEMA,
+    return stamp({
         "strategies": strategies,
         "flags": flag_anomalies(ledger),
-    }
+    }, LEDGER_SCHEMA)
 
 
 def flatten_scorecard(scorecard: Dict[str, Any]) -> Dict[str, float]:
@@ -444,6 +453,12 @@ def flag_anomalies(
                 f"slo alerts: {r.label} fired {r.alerts} live alert(s); "
                 f"see repro.live"
             )
+    for r in ledger.runs:
+        if r.divergences > 0:
+            flags.append(
+                f"determinism: {r.label} diverged from its seeded replay "
+                f"({r.divergences} divergence(s)); see repro.align"
+            )
     return flags
 
 
@@ -486,7 +501,8 @@ def format_scorecard(scorecard: Dict[str, Any]) -> str:
     header = (f"  {'strategy':<18} {'runs':>4} {'eff':>6}  "
               f"{'overhead%':>22}  {'recovery(s)':>22}  "
               f"{'recompute%':>10}  {'ckpt%':>6}  "
-              f"{'dirty%':>6}  {'dedup%':>6}  {'alerts':>6}")
+              f"{'dirty%':>6}  {'dedup%':>6}  {'alerts':>6}  "
+              f"{'divrg':>5}")
     lines.append(header)
     lines.append("  " + "-" * (len(header) - 2))
     for strategy, entry in scorecard.get("strategies", {}).items():
@@ -513,7 +529,8 @@ def format_scorecard(scorecard: Dict[str, Any]) -> str:
             f"{m['checkpoint_frac']['mean'] * 100:>5.2f}%  "
             f"{pct(m.get('dirty_fraction', {'n': 0})):>6}  "
             f"{pct(m.get('dedup_ratio', {'n': 0})):>6}  "
-            f"{entry.get('total_alerts', 0):>6}"
+            f"{entry.get('total_alerts', 0):>6}  "
+            f"{entry.get('divergent_cells', 0):>5}"
         )
     flags = scorecard.get("flags", [])
     if flags:

@@ -1,0 +1,63 @@
+"""Artifact schema stamping and version-mismatch warnings.
+
+Every JSONL/JSON artifact the package writes (flight-recorder traces,
+campaign progress streams, campaign ledgers, divergence reports)
+carries a ``schema`` integer and the ``repro_version`` that wrote it.
+Readers call :func:`warn_on_mismatch`: a *schema* mismatch means the
+layout changed (readers that cannot degrade raise instead), while a
+*version* mismatch merely flags that the artifact came from a different
+build -- crucial for :mod:`repro.align`, where diffing a stale trace
+against a current one silently produces structural noise that looks
+like a regression.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Dict, Optional
+
+from repro import __version__
+
+
+class ArtifactVersionWarning(UserWarning):
+    """An artifact was written by a different schema or repro build."""
+
+
+def stamp(payload: Dict[str, Any], schema: int) -> Dict[str, Any]:
+    """Return ``payload`` with ``schema`` and ``repro_version`` set."""
+    payload = dict(payload)
+    payload["schema"] = int(schema)
+    payload["repro_version"] = __version__
+    return payload
+
+
+def warn_on_mismatch(
+    origin: str,
+    expected_schema: int,
+    found_schema: Optional[Any] = None,
+    found_version: Optional[Any] = None,
+) -> None:
+    """Warn (never raise) when an artifact's stamp disagrees with this
+    build.  ``None`` values -- artifacts written before stamping existed,
+    or by foreign tools -- pass silently: absence is not a mismatch."""
+    if found_schema is not None:
+        try:
+            found = int(found_schema)
+        except (TypeError, ValueError):
+            found = None
+        if found != int(expected_schema):
+            warnings.warn(
+                f"{origin}: schema {found_schema!r} differs from this "
+                f"build's {expected_schema}; fields may be missing or "
+                f"renamed",
+                ArtifactVersionWarning,
+                stacklevel=3,
+            )
+    if found_version is not None and str(found_version) != __version__:
+        warnings.warn(
+            f"{origin}: written by repro {found_version}, this build is "
+            f"{__version__}; cross-version comparisons may report "
+            f"structural noise",
+            ArtifactVersionWarning,
+            stacklevel=3,
+        )

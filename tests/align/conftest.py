@@ -1,0 +1,66 @@
+"""Shared recorded runs for the repro.align tests.
+
+The fixtures run the same seeded fig5-shaped kill cell several ways --
+baseline, identical replay, perturbed victim -- so the keying, engine,
+and CLI tests all operate on real protocol streams instead of synthetic
+ones.  Everything is session-scoped: the runs are deterministic, so one
+recording serves every test.
+"""
+
+import pytest
+
+from repro.apps.heatdis import HeatdisConfig
+from repro.experiments.common import paper_env
+from repro.harness.runner import run_heatdis_job
+from repro.monitor import MonitorSuite
+from repro.sim.failures import IterationFailure
+
+RANKS = 4
+INTERVAL = 10
+N_ITERS = 30
+
+
+def run_kill_cell(kill_rank=2, telemetry=None, trace_max_records=None):
+    """One monitored seeded kill job; returns its live Trace."""
+    env = paper_env(RANKS + 1, n_spares=1, pfs_servers=2)
+    plan = IterationFailure.between_checkpoints(kill_rank, INTERVAL, 1)
+    suite = MonitorSuite()
+    run_heatdis_job(
+        env, "fenix_kr_veloc", RANKS,
+        HeatdisConfig(n_iters=N_ITERS, modeled_bytes_per_rank=16e6),
+        INTERVAL, plan=plan, monitor=suite, strict_monitor=True,
+        telemetry=telemetry, trace_max_records=trace_max_records,
+    )
+    return suite._trace
+
+
+@pytest.fixture(scope="session")
+def base_trace():
+    return run_kill_cell()
+
+
+@pytest.fixture(scope="session")
+def replay_trace():
+    """Second run of the exact same cell: must be bit-identical."""
+    return run_kill_cell()
+
+
+@pytest.fixture(scope="session")
+def perturbed_trace():
+    """Same cell with a different victim rank: structurally divergent."""
+    return run_kill_cell(kill_rank=1)
+
+
+@pytest.fixture(scope="session")
+def base_records(base_trace):
+    return list(base_trace)
+
+
+@pytest.fixture(scope="session")
+def replay_records(replay_trace):
+    return list(replay_trace)
+
+
+@pytest.fixture(scope="session")
+def perturbed_records(perturbed_trace):
+    return list(perturbed_trace)

@@ -1,0 +1,127 @@
+"""python -m repro.align: exit codes, JSON shapes, rendering."""
+
+import json
+
+import pytest
+
+from repro.align import ALIGN_SCHEMA
+from repro.align.__main__ import main
+from repro.monitor.trace_io import write_trace
+from repro.report.compare import EXIT_BAD_INPUT, EXIT_OK, EXIT_REGRESSION
+
+
+@pytest.fixture(scope="module")
+def trace_files(tmp_path_factory, base_trace, replay_trace,
+                perturbed_trace):
+    """The session traces persisted as CLI inputs."""
+    root = tmp_path_factory.mktemp("align-cli")
+    paths = {}
+    for name, trace in [("base", base_trace), ("replay", replay_trace),
+                        ("perturbed", perturbed_trace)]:
+        path = root / f"{name}.trace.jsonl"
+        write_trace(str(path), trace)
+        paths[name] = str(path)
+    return paths
+
+
+# -- diff ----------------------------------------------------------------
+
+
+def test_diff_identical_exits_clean(trace_files, capsys):
+    rc = main(["diff", trace_files["base"], trace_files["replay"]])
+    assert rc == EXIT_OK
+    out = capsys.readouterr().out
+    assert "zero divergences" in out
+
+
+def test_diff_perturbed_roots_cause_to_process_layer(trace_files, capsys):
+    rc = main(["diff", trace_files["base"], trace_files["perturbed"],
+               "--json"])
+    assert rc == EXIT_REGRESSION
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == ALIGN_SCHEMA
+    assert doc["divergent"] is True
+    (pair,) = doc["pairs"]
+    assert pair["a"] == trace_files["base"]
+    assert pair["b"] == trace_files["perturbed"]
+    first = pair["first"]
+    assert first["layer"] == "process"
+    assert first["key"]["kind"] in ("rank_killed", "rank_crashed")
+    assert first["context_a"] and first["context_b"]
+    assert "wall_time" in pair["downstream"]
+
+
+def test_diff_text_report_names_the_layer(trace_files, capsys):
+    rc = main(["diff", trace_files["base"], trace_files["perturbed"]])
+    assert rc == EXIT_REGRESSION
+    out = capsys.readouterr().out
+    assert "first divergence [process]" in out
+    assert "context (run A):" in out
+
+
+def test_diff_writes_report_file(trace_files, tmp_path, capsys):
+    out_path = tmp_path / "report.json"
+    rc = main(["diff", trace_files["base"], trace_files["perturbed"],
+               "--out", str(out_path)])
+    assert rc == EXIT_REGRESSION
+    doc = json.loads(out_path.read_text())
+    assert doc["mode"] == "diff"
+    assert doc["pairs"][0]["first"]["layer"] == "process"
+
+
+def test_diff_structural_only_flag_round_trips(trace_files, capsys):
+    rc = main(["diff", trace_files["base"], trace_files["replay"],
+               "--structural-only", "--json"])
+    assert rc == EXIT_OK
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["structural_only"] is True
+
+
+def test_diff_missing_file_is_bad_input(trace_files, capsys):
+    rc = main(["diff", trace_files["base"], "/nonexistent.jsonl"])
+    assert rc == EXIT_BAD_INPUT
+    assert "cannot diff" in capsys.readouterr().err
+
+
+# -- check --replay ------------------------------------------------------
+
+
+def test_check_replay_seeded_kill_cell_is_deterministic(capsys):
+    rc = main(["check", "--replay", "--kill-rank", "2", "--json"])
+    assert rc == EXIT_OK
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["mode"] == "check-replay"
+    assert doc["divergent"] is False
+    assert doc["counts"]["missing"] == 0
+    assert doc["records_a"] == doc["records_b"] > 0
+
+
+def test_check_without_replay_is_usage_error(capsys):
+    rc = main(["check"])
+    assert rc == EXIT_BAD_INPUT
+    assert "--replay" in capsys.readouterr().err
+
+
+def test_check_unknown_strategy_is_bad_input(capsys):
+    rc = main(["check", "--replay", "--strategy", "nope"])
+    assert rc == EXIT_BAD_INPUT
+    assert "unknown strategy" in capsys.readouterr().err
+
+
+# -- bisect --------------------------------------------------------------
+
+
+def test_bisect_finds_first_divergent_trace(trace_files, capsys):
+    rc = main(["bisect", trace_files["base"], trace_files["replay"],
+               trace_files["perturbed"], "--json"])
+    assert rc == EXIT_REGRESSION
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["first_divergent_index"] == 2
+    assert doc["first_divergent_trace"] == trace_files["perturbed"]
+    assert doc["report"]["first"]["layer"] == "process"
+
+
+def test_bisect_all_aligned_exits_clean(trace_files, capsys):
+    rc = main(["bisect", trace_files["base"], trace_files["replay"]])
+    assert rc == EXIT_OK
+    assert "align with" in capsys.readouterr().out

@@ -1,0 +1,60 @@
+"""The sampleable-exempt contract, end to end (satellite: a sampled,
+ring-bounded recording still aligns byte-identically with an unsampled
+run on the protocol-critical skeleton).
+
+The tightest sampling policy plus a small ring buffer is the harshest
+recording configuration the telemetry layer offers; because the sampler
+may never drop protocol-critical kinds and the engine excuses what the
+ring accounted for, the alignment must still come back clean.
+"""
+
+import pytest
+
+from repro.align.engine import align
+from repro.align.keying import protocol_critical
+from repro.monitor.trace_io import trace_meta
+from repro.telemetry import Telemetry
+from repro.telemetry.sampling import SamplingPolicy, SpanSampler
+
+from tests.align.conftest import run_kill_cell
+
+
+@pytest.fixture(scope="module")
+def tight_trace():
+    return run_kill_cell(
+        telemetry=Telemetry(
+            sampler=SpanSampler(SamplingPolicy.tightest())),
+        trace_max_records=48,
+    )
+
+
+def test_the_scenario_actually_samples_and_evicts(tight_trace):
+    assert tight_trace.sampled_out > 0
+    assert tight_trace.dropped > 0
+
+
+def test_tightest_sampling_and_ring_still_align(base_trace, tight_trace):
+    records_a, records_b = list(base_trace), list(tight_trace)
+    alignment = align(
+        records_a, records_b,
+        meta_a=trace_meta(base_trace), meta_b=trace_meta(tight_trace),
+    )
+    assert not alignment.divergent, [
+        d.summary for d in alignment.divergences]
+    # sampleable kinds were excluded, the evicted prefix excused
+    assert alignment.excluded_sampleable > 0
+    assert alignment.excused > 0
+    # every surviving protocol-critical record of the harsh recording
+    # matched one of the full recording byte-for-byte
+    skeleton_b = [r for r in records_b if protocol_critical(r.kind)]
+    assert alignment.matched == len(skeleton_b)
+
+
+def test_recovery_spine_survives_inside_the_ring_window(tight_trace):
+    """Sampling may thin the bulk kinds and the ring may evict the
+    oldest records (the kill itself can fall out -- the engine excuses
+    that via the drop window), but the late recovery spine the run ends
+    on is protocol-critical and recent, so it always survives."""
+    kinds = {r.kind for r in tight_trace}
+    assert "recover" in kinds
+    assert "repair" in kinds

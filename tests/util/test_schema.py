@@ -1,0 +1,71 @@
+"""Artifact schema stamping and the warn-on-mismatch contract."""
+
+import warnings
+
+import pytest
+
+from repro import __version__
+from repro.util.schema import ArtifactVersionWarning, stamp, warn_on_mismatch
+
+
+def test_stamp_adds_schema_and_version():
+    doc = stamp({"payload": 1}, 3)
+    assert doc["schema"] == 3
+    assert doc["repro_version"] == __version__
+    assert doc["payload"] == 1
+
+
+def test_stamp_does_not_mutate_the_input():
+    payload = {"payload": 1}
+    stamp(payload, 3)
+    assert payload == {"payload": 1}
+
+
+def test_mismatched_schema_warns_but_never_raises():
+    with pytest.warns(ArtifactVersionWarning, match="schema 99"):
+        warn_on_mismatch("test artifact", 1, found_schema=99)
+
+
+def test_mismatched_version_warns():
+    with pytest.warns(ArtifactVersionWarning, match="0.0.0"):
+        warn_on_mismatch("test artifact", 1, found_schema=1,
+                         found_version="0.0.0")
+
+
+def test_matching_or_absent_provenance_is_silent():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        warn_on_mismatch("test artifact", 1, found_schema=1,
+                         found_version=__version__)
+        # pre-stamping artifacts carry neither field; readers stay quiet
+        warn_on_mismatch("test artifact", 1)
+
+
+def test_trace_file_header_is_stamped(tmp_path):
+    from repro.monitor.trace_io import FORMAT_VERSION, read_trace, write_trace
+    from repro.sim.trace import Trace
+
+    trace = Trace()
+    trace.emit(0.5, "veloc.rank0", "checkpoint", version=1)
+    path = tmp_path / "t.jsonl"
+    write_trace(str(path), trace)
+    import json
+
+    meta = json.loads(path.read_text().splitlines()[0])["meta"]
+    assert meta["schema"] == FORMAT_VERSION
+    assert meta["repro_version"] == __version__
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        read_trace(str(path))
+
+
+def test_trace_reader_warns_on_foreign_schema(tmp_path):
+    import json
+
+    from repro.monitor.trace_io import read_trace
+
+    path = tmp_path / "t.jsonl"
+    path.write_text(json.dumps({"meta": {"version": 99}}) + "\n")
+    with pytest.warns(ArtifactVersionWarning):
+        read_trace(str(path))
